@@ -1,0 +1,41 @@
+"""Benchmark fixtures: cached datasets and engines."""
+
+import pytest
+
+from repro import LMFAO
+from repro.baselines import MaterializedEngine
+
+from .common import DATASET_NAMES, dataset
+
+
+@pytest.fixture(scope="session", params=DATASET_NAMES)
+def bench_dataset(request):
+    return dataset(request.param)
+
+
+_ENGINES = {}
+_BASELINES = {}
+
+
+@pytest.fixture(scope="session")
+def lmfao_engine():
+    def get(name):
+        if name not in _ENGINES:
+            ds = dataset(name)
+            _ENGINES[name] = LMFAO(ds.database, ds.join_tree)
+        return _ENGINES[name]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def materialized_engine():
+    def get(name):
+        if name not in _BASELINES:
+            ds = dataset(name)
+            _BASELINES[name] = MaterializedEngine(
+                ds.database, materialize_now=True
+            )
+        return _BASELINES[name]
+
+    return get

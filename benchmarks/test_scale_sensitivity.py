@@ -1,0 +1,78 @@
+"""Scale sensitivity: the LMFAO-vs-baseline gap grows with data size.
+
+EXPERIMENTS.md attributes the compressed Table 3 magnitudes to the small
+benchmark scale (per-view constant costs vs data-bound work).  This
+module measures the covar workload at three scales and asserts the
+claim: the speedup over the per-query baseline is non-shrinking in
+scale.  Writes ``results/scale_sensitivity.txt``.
+"""
+
+import pytest
+
+from repro import LMFAO
+from repro.baselines import MaterializedEngine
+from repro.datasets import favorita
+from repro.ml import CovarBatch
+
+from .common import Report
+
+SCALES = [0.1, 0.3, 0.9]
+
+_measured = {}
+
+
+def covar_batch_for(ds):
+    return CovarBatch(
+        ["txns", "price"],
+        ["stype", "promo", "family", "locale", "cluster"],
+        "units",
+    ).batch
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_lmfao_at_scale(benchmark, scale):
+    ds = favorita(scale=scale)
+    engine = LMFAO(ds.database, ds.join_tree)
+    batch = covar_batch_for(ds)
+    engine.plan(batch)
+    result = benchmark.pedantic(
+        lambda: engine.run(batch), rounds=2, iterations=1, warmup_rounds=1
+    )
+    assert len(result) == len(batch)
+    _measured[("lmfao", scale)] = benchmark.stats["mean"]
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_baseline_at_scale(benchmark, scale):
+    ds = favorita(scale=scale)
+    engine = MaterializedEngine(ds.database)
+    batch = covar_batch_for(ds)
+    result = benchmark.pedantic(
+        lambda: engine.run(batch), rounds=2, iterations=1
+    )
+    assert len(result) == len(batch)
+    _measured[("baseline", scale)] = benchmark.stats["mean"]
+
+
+def test_zz_scale_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report = Report(
+        "scale_sensitivity",
+        f"{'scale':>7}{'lmfao s':>10}{'baseline s':>12}{'speedup':>9}",
+    )
+    speedups = []
+    for scale in SCALES:
+        lmfao_s = _measured.get(("lmfao", scale))
+        base_s = _measured.get(("baseline", scale))
+        if lmfao_s is None or base_s is None:
+            continue
+        speedup = base_s / lmfao_s
+        speedups.append(speedup)
+        report.add(
+            f"{scale:>7}{lmfao_s:>10.4f}{base_s:>12.4f}{speedup:>8.1f}x"
+        )
+    path = report.write()
+    print(f"\nwrote {path}")
+    # the claim: the gap does not shrink as data grows (allowing noise)
+    if len(speedups) == len(SCALES):
+        assert speedups[-1] >= speedups[0] * 0.8, speedups

@@ -1,0 +1,55 @@
+"""Table 1 — dataset characteristics, paper vs this reproduction.
+
+Benchmarks the join materialization per dataset (the quantity behind the
+"size of join result" row that two-step solutions must pay for) and
+writes ``results/table1.txt`` with the side-by-side characteristics.
+"""
+
+import pytest
+
+from repro import materialize_join
+
+from .common import DATASET_NAMES, PAPER_TABLE1, Report, dataset
+
+_measured = {}
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_join_materialization(benchmark, name):
+    ds = dataset(name)
+    flat = benchmark.pedantic(
+        lambda: materialize_join(ds.database),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    summary = ds.summary()
+    summary["join_tuples"] = flat.n_rows
+    summary["join_mb"] = flat.nbytes() / 1e6
+    _measured[name] = summary
+    # Table 1's Yelp signature: the join result exceeds the database
+    if name == "yelp":
+        assert flat.n_rows > ds.database.total_tuples()
+
+
+def test_zz_table1_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report = Report(
+        "table1",
+        f"{'':14}{'paper tuples':>14}{'ours':>10}{'paper join':>12}"
+        f"{'ours':>10}{'rel':>5}{'attrs':>7}{'cat':>5}",
+    )
+    for name in DATASET_NAMES:
+        paper = PAPER_TABLE1[name]
+        ours = _measured.get(name)
+        if ours is None:
+            continue
+        report.add(
+            f"{name:14}{paper['tuples']:>14}{ours['tuples']:>10}"
+            f"{paper['join_tuples']:>12}{ours['join_tuples']:>10}"
+            f"{ours['relations']:>5}{ours['attributes']:>7}"
+            f"{ours['categorical']:>5}"
+        )
+        assert ours["relations"] == paper["relations"]
+    path = report.write()
+    print(f"\nwrote {path}")

@@ -1,0 +1,62 @@
+"""repro — a Python reproduction of LMFAO (SIGMOD 2019).
+
+LMFAO (Layered Multiple Functional Aggregate Optimization) is an
+in-memory optimization and execution engine for batches of group-by
+aggregates over joins of database relations, with analytics applications
+(regression, decision trees, Chow-Liu trees, data cubes) built on top.
+
+Quickstart::
+
+    from repro import LMFAO, Database, Query, QueryBatch, Aggregate
+    from repro.datasets import favorita
+
+    dataset = favorita(scale=0.1)
+    engine = LMFAO(dataset.database, dataset.join_tree)
+    batch = QueryBatch([
+        Query("count", [], [Aggregate.count()]),
+        Query("by_family", ["family"], [Aggregate.of("units")]),
+    ])
+    results = engine.run(batch)
+"""
+
+from .data import Attribute, Database, Relation, Schema, materialize_join
+from .engine import LMFAO, PlanStatistics
+from .jointree import JoinTree, join_tree_from_database
+from .query import (
+    Aggregate,
+    Constant,
+    Delta,
+    Exp,
+    Identity,
+    Log,
+    Power,
+    Product,
+    Query,
+    QueryBatch,
+    Udf,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LMFAO",
+    "PlanStatistics",
+    "Database",
+    "Relation",
+    "Schema",
+    "Attribute",
+    "materialize_join",
+    "JoinTree",
+    "join_tree_from_database",
+    "Query",
+    "QueryBatch",
+    "Aggregate",
+    "Product",
+    "Constant",
+    "Identity",
+    "Power",
+    "Delta",
+    "Log",
+    "Exp",
+    "Udf",
+]

@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info [dataset...]``   — Table 1-style characteristics of the
+  synthetic datasets;
+* ``plan <dataset> <workload>`` — plan a workload and print EXPLAIN +
+  the Table 2 statistics (workloads: covar, rt_node, mi, cube);
+* ``sql <dataset> <workload>``  — print the view decomposition as SQL;
+* ``run <dataset> <workload>``  — execute the workload and time it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import LMFAO
+from .datasets import ALL_DATASETS
+from .engine.explain import explain
+from .engine.sql import render_batch_sql
+from .ml import CovarBatch, build_cube_batch, build_mi_batch
+from .ml.trees import CARTLearner
+
+
+def _build_workload(dataset, engine, workload: str):
+    if workload == "covar":
+        label = dataset.label
+        if dataset.database.attribute_kind(label) != "continuous":
+            label = dataset.continuous_features[0]
+        continuous = [f for f in dataset.continuous_features if f != label]
+        return CovarBatch(
+            continuous, dataset.categorical_features, label
+        ).batch
+    if workload == "rt_node":
+        label = dataset.label
+        if dataset.database.attribute_kind(label) != "continuous":
+            label = dataset.continuous_features[0]
+        continuous = [f for f in dataset.continuous_features if f != label]
+        learner = CARTLearner(
+            engine, continuous, dataset.categorical_features, label,
+            "regression",
+        )
+        return learner.node_batch([])
+    if workload == "mi":
+        return build_mi_batch(dataset.discrete_attrs)
+    if workload == "cube":
+        return build_cube_batch(
+            dataset.cube_dimensions, dataset.cube_measures
+        )
+    raise SystemExit(
+        f"unknown workload {workload!r}; use covar/rt_node/mi/cube"
+    )
+
+
+def cmd_info(args) -> int:
+    names = args.datasets or list(ALL_DATASETS)
+    for name in names:
+        if name not in ALL_DATASETS:
+            raise SystemExit(f"unknown dataset {name!r}")
+        dataset = ALL_DATASETS[name](scale=args.scale)
+        summary = dataset.summary()
+        print(
+            f"{name:10} relations={summary['relations']:2} "
+            f"tuples={summary['tuples']:>8} "
+            f"attrs={summary['attributes']:3} "
+            f"categorical={summary['categorical']:3} "
+            f"size={summary['size_mb']:.2f}MB"
+        )
+    return 0
+
+
+def _dataset_and_engine(args):
+    if args.dataset not in ALL_DATASETS:
+        raise SystemExit(f"unknown dataset {args.dataset!r}")
+    dataset = ALL_DATASETS[args.dataset](scale=args.scale)
+    engine = LMFAO(dataset.database, dataset.join_tree)
+    return dataset, engine
+
+
+def cmd_plan(args) -> int:
+    dataset, engine = _dataset_and_engine(args)
+    batch = _build_workload(dataset, engine, args.workload)
+    plan = engine.plan(batch)
+    print(explain(plan, dataset.join_tree))
+    print()
+    print("Table 2 row:", plan.statistics.table2_row())
+    return 0
+
+
+def cmd_sql(args) -> int:
+    dataset, engine = _dataset_and_engine(args)
+    batch = _build_workload(dataset, engine, args.workload)
+    plan = engine.plan(batch)
+    print(render_batch_sql(plan.decomposed))
+    return 0
+
+
+def cmd_run(args) -> int:
+    dataset, engine = _dataset_and_engine(args)
+    batch = _build_workload(dataset, engine, args.workload)
+    engine.plan(batch)  # warm: planning+compilation outside the timing
+    start = time.perf_counter()
+    results = engine.run(batch)
+    elapsed = time.perf_counter() - start
+    n_rows = sum(r.n_rows for r in results.values())
+    print(
+        f"{args.workload} on {args.dataset}: {len(batch)} queries, "
+        f"{batch.n_application_aggregates} aggregates, "
+        f"{n_rows} result rows in {elapsed:.4f}s"
+    )
+    print("plan:", engine.plan(batch).statistics.table2_row())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LMFAO reproduction CLI"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.2, help="dataset scale factor"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="dataset characteristics")
+    p_info.add_argument("datasets", nargs="*")
+    p_info.set_defaults(fn=cmd_info)
+
+    for name, fn, help_text in (
+        ("plan", cmd_plan, "EXPLAIN a workload plan"),
+        ("sql", cmd_sql, "print the decomposition as SQL"),
+        ("run", cmd_run, "execute and time a workload"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("dataset", choices=sorted(ALL_DATASETS))
+        p.add_argument(
+            "workload", choices=["covar", "rt_node", "mi", "cube"]
+        )
+        p.set_defaults(fn=fn)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

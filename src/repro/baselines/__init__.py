@@ -1,0 +1,22 @@
+"""Baselines: the paper's competitor systems, as substrate proxies."""
+
+from .acdc import FIGURE5_LADDER, acdc_proxy
+from .materialized import MaterializedEngine
+from .ml import (
+    brute_force_cart,
+    build_feature_index,
+    gradient_descent_epochs,
+    ols_closed_form,
+    ols_row_engine,
+)
+
+__all__ = [
+    "MaterializedEngine",
+    "acdc_proxy",
+    "FIGURE5_LADDER",
+    "ols_closed_form",
+    "ols_row_engine",
+    "gradient_descent_epochs",
+    "brute_force_cart",
+    "build_feature_index",
+]

@@ -1,0 +1,103 @@
+"""The materialized-join baseline (DBX / MonetDB / PostgreSQL proxy).
+
+The paper's relational competitors evaluate each query of a batch
+*independently* and efficiently, but share nothing across queries — that
+is exactly what this engine does: materialize the join once (like a
+warmed-up DBMS holding the join or computing it per query from base
+tables), then answer each query with a fresh scan, fresh function
+evaluation and fresh hash aggregation.  No views, no sharing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..data import ops
+from ..data.database import Database, materialize_join
+from ..data.relation import Relation
+from ..data.schema import Attribute, Schema
+from ..query.query import Query, QueryBatch
+
+
+class MaterializedEngine:
+    """Per-query evaluation over the materialized join."""
+
+    def __init__(self, database: Database, materialize_now: bool = False):
+        self.database = database
+        self._flat: Optional[Relation] = None
+        self.materialize_seconds: Optional[float] = None
+        if materialize_now:
+            self.materialize()
+
+    def materialize(self) -> Relation:
+        """Compute (and cache) the full join — the two-step solutions'
+        unavoidable first step."""
+        if self._flat is None:
+            start = time.perf_counter()
+            self._flat = materialize_join(self.database)
+            self.materialize_seconds = time.perf_counter() - start
+        return self._flat
+
+    def run(
+        self, batch: QueryBatch, share_join: bool = False
+    ) -> Dict[str, Relation]:
+        """Evaluate every query of the batch independently.
+
+        By default each query recomputes the join, like a DBMS executing
+        the batch as separate SQL statements — the paper's observation is
+        that DBX/MonetDB "do not share computation across queries".
+        ``share_join=True`` reuses one materialized join for the whole
+        batch (a generous variant, used by correctness tests).
+        """
+        if share_join:
+            flat = self.materialize()
+            return {
+                query.name: self._run_query(query, flat) for query in batch
+            }
+        results = {}
+        for query in batch:
+            flat = materialize_join(self.database)
+            results[query.name] = self._run_query(query, flat)
+        return results
+
+    def _run_query(self, query: Query, flat: Relation) -> Relation:
+        # evaluate each aggregate from scratch: no sharing by design
+        value_columns = []
+        for aggregate in query.aggregates:
+            total = None
+            for term in aggregate.terms:
+                product = np.full(flat.n_rows, term.coefficient)
+                for function in term.factors:
+                    columns = {a: flat.column(a) for a in function.attrs}
+                    product = product * function.evaluate(columns)
+                total = product if total is None else total + product
+            value_columns.append(total)
+        attrs = []
+        columns = {}
+        if query.group_by:
+            keys, sums = ops.group_aggregate(
+                flat.columns(list(query.group_by)), value_columns
+            )
+            for name, key_col in zip(query.group_by, keys):
+                attrs.append(Attribute(name, "categorical", key_col.dtype))
+                columns[name] = key_col
+            value_columns = sums
+        else:
+            value_columns = [
+                np.asarray([float(np.sum(v)) if len(v) else 0.0])
+                for v in value_columns
+            ]
+        used: Dict[str, int] = {}
+        for aggregate, column in zip(query.aggregates, value_columns):
+            name = aggregate.name or "agg"
+            if name in used:
+                used[name] += 1
+                name = f"{name}_{used[name]}"
+            else:
+                used[name] = 0
+            attrs.append(Attribute(name, "continuous", np.float64))
+            columns[name] = np.asarray(column, dtype=np.float64)
+        return Relation(query.name, Schema(attrs), columns)

@@ -1,0 +1,28 @@
+"""Relational substrate: schemas, columnar relations, vectorized kernels."""
+
+from .database import Database, materialize_join
+from .relation import Relation
+from .schema import (
+    CATEGORICAL,
+    CONTINUOUS,
+    KEY,
+    Attribute,
+    Schema,
+    categorical,
+    continuous,
+    key,
+)
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "Relation",
+    "Database",
+    "materialize_join",
+    "key",
+    "categorical",
+    "continuous",
+    "CATEGORICAL",
+    "CONTINUOUS",
+    "KEY",
+]

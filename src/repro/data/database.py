@@ -1,0 +1,129 @@
+"""The database catalog: a set of relations plus cardinality statistics.
+
+The Join Tree layer of LMFAO takes "the database schema and cardinality
+constraints (e.g., sizes of relations and attribute domains)" as input;
+:class:`Database` is where those live.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .relation import Relation
+
+
+class Database:
+    """A named collection of relations joined by natural join."""
+
+    def __init__(self, relations: Iterable[Relation], name: str = "db"):
+        self.name = name
+        self._relations: Dict[str, Relation] = {}
+        for rel in relations:
+            if rel.name in self._relations:
+                raise ValueError(f"duplicate relation name {rel.name!r}")
+            self._relations[rel.name] = rel
+        self._domain_cache: Dict[Tuple[str, str], int] = {}
+
+    # -- catalog ----------------------------------------------------------
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(self._relations)
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(
+                f"no relation {name!r}; database has {list(self._relations)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def replace(self, relation: Relation) -> "Database":
+        """A new database with one relation replaced (same name)."""
+        if relation.name not in self._relations:
+            raise KeyError(f"no relation {relation.name!r} to replace")
+        rels = [
+            relation if r.name == relation.name else r for r in self
+        ]
+        return Database(rels, name=self.name)
+
+    def with_relation(self, relation: Relation) -> "Database":
+        """A new database with an extra relation."""
+        return Database(list(self) + [relation], name=self.name)
+
+    # -- statistics --------------------------------------------------------
+
+    def total_tuples(self) -> int:
+        return sum(r.n_rows for r in self)
+
+    def total_bytes(self) -> int:
+        return sum(r.nbytes() for r in self)
+
+    def attributes(self) -> List[str]:
+        """All attribute names in the database, deduplicated, in order."""
+        seen: Dict[str, None] = {}
+        for rel in self:
+            for name in rel.schema.names:
+                seen.setdefault(name, None)
+        return list(seen)
+
+    def relations_with_attribute(self, attr: str) -> List[str]:
+        return [r.name for r in self if r.has_column(attr)]
+
+    def attribute_kind(self, attr: str) -> str:
+        """Kind of an attribute (first relation that carries it wins)."""
+        for rel in self:
+            if attr in rel.schema:
+                return rel.schema[attr].kind
+        raise KeyError(f"attribute {attr!r} not in database")
+
+    def domain_size(self, relation_name: str, attr: str) -> int:
+        """Cached number of distinct values of ``attr`` in a relation."""
+        cache_key = (relation_name, attr)
+        if cache_key not in self._domain_cache:
+            self._domain_cache[cache_key] = self.relation(
+                relation_name
+            ).domain_size(attr)
+        return self._domain_cache[cache_key]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{r.name}({r.n_rows})" for r in self)
+        return f"Database({self.name!r}: {parts})"
+
+
+def materialize_join(
+    database: Database, order: Optional[List[str]] = None
+) -> Relation:
+    """The full natural join of all relations (the paper's training dataset).
+
+    This is what the two-step baselines pay for; LMFAO never builds it.
+    Relations are joined greedily along shared attributes so that no
+    accidental cross products appear for connected schemas.
+    """
+    remaining = list(order) if order is not None else list(
+        database.relation_names
+    )
+    if not remaining:
+        raise ValueError("cannot join an empty database")
+    result = database.relation(remaining.pop(0))
+    while remaining:
+        # pick the next relation sharing attributes with the current result
+        for i, name in enumerate(remaining):
+            rel = database.relation(name)
+            if result.schema.intersection(rel.schema):
+                remaining.pop(i)
+                break
+        else:
+            name = remaining.pop(0)
+            rel = database.relation(name)
+        result = result.join(rel)
+    return result.rename(f"join({database.name})")

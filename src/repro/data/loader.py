@@ -1,0 +1,91 @@
+"""CSV persistence for relations and databases.
+
+LMFAO's generated C++ includes specialized data-loading code; here we keep a
+small, dependency-free CSV loader so example datasets can be saved and
+reloaded deterministically.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .database import Database
+from .relation import Relation
+from .schema import Attribute, Schema
+
+
+def save_relation(relation: Relation, path: str) -> None:
+    """Write a relation to CSV with a typed header.
+
+    The header encodes each attribute as ``name:kind:dtype`` so the schema
+    round-trips.
+    """
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            f"{a.name}:{a.kind}:{a.dtype.name}" for a in relation.schema
+        )
+        columns = [relation.column(n) for n in relation.schema.names]
+        for row in zip(*(c.tolist() for c in columns)):
+            writer.writerow(row)
+
+
+def load_relation(path: str, name: Optional[str] = None) -> Relation:
+    """Read a relation previously written by :func:`save_relation`."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty CSV file") from None
+        attrs: List[Attribute] = []
+        for cell in header:
+            parts = cell.split(":")
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}: malformed header cell {cell!r}; expected "
+                    "name:kind:dtype"
+                )
+            attr_name, kind, dtype = parts
+            attrs.append(Attribute(attr_name, kind, np.dtype(dtype)))
+        raw: List[List[str]] = [row for row in reader if row]
+    columns: Dict[str, np.ndarray] = {}
+    for idx, attr in enumerate(attrs):
+        cells = [row[idx] for row in raw]
+        if np.issubdtype(attr.dtype, np.integer):
+            values = np.asarray([int(c) for c in cells], dtype=attr.dtype)
+        else:
+            values = np.asarray([float(c) for c in cells], dtype=attr.dtype)
+        columns[attr.name] = values
+    rel_name = name or os.path.splitext(os.path.basename(path))[0]
+    return Relation(rel_name, Schema(attrs), columns)
+
+
+def save_database(database: Database, directory: str) -> None:
+    """Write every relation of a database as ``<directory>/<name>.csv``."""
+    os.makedirs(directory, exist_ok=True)
+    for relation in database:
+        save_relation(relation, os.path.join(directory, f"{relation.name}.csv"))
+
+
+def load_database(
+    directory: str,
+    relation_names: Optional[Sequence[str]] = None,
+    name: str = "db",
+) -> Database:
+    """Load a database saved by :func:`save_database`."""
+    if relation_names is None:
+        relation_names = sorted(
+            os.path.splitext(f)[0]
+            for f in os.listdir(directory)
+            if f.endswith(".csv")
+        )
+    relations = [
+        load_relation(os.path.join(directory, f"{rel}.csv"), name=rel)
+        for rel in relation_names
+    ]
+    return Database(relations, name=name)

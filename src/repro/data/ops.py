@@ -1,0 +1,193 @@
+"""Vectorized relational kernels.
+
+These are the low-level primitives the engine is built on: dictionary
+encoding of composite keys (*factorization* in the NumPy sense), sort-based
+equi-joins with full fan-out (one-to-many and many-to-many), and grouped
+summation.  They are the Python/NumPy analog of the tight generated C++
+loops of the paper's Compilation layer.
+
+All kernels are pure functions over ``np.ndarray`` inputs so they are easy
+to test against brute-force references (see ``tests/data/test_ops.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def factorize(column: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Dictionary-encode one column.
+
+    Returns ``(codes, uniques)`` where ``uniques[codes] == column`` and
+    ``uniques`` is sorted ascending.  Codes are ``int64``.
+    """
+    uniques, codes = np.unique(column, return_inverse=True)
+    return codes.astype(np.int64, copy=False).ravel(), uniques
+
+
+def factorize_rows(
+    columns: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Dictionary-encode composite row keys.
+
+    Given ``k`` equal-length columns, returns ``(codes, key_columns)`` where
+    rows with equal tuples share a code, codes follow the lexicographic
+    order of the key tuples, and ``key_columns[j][c]`` is the value of
+    column ``j`` for code ``c``.
+
+    An empty ``columns`` encodes the nullary key: every row gets code 0.
+    """
+    if not columns:
+        raise ValueError("factorize_rows requires at least one column")
+    if len(columns) == 1:
+        codes, uniques = factorize(columns[0])
+        return codes, [uniques]
+    # Pairwise combination keeps intermediate codes small and avoids
+    # overflow: combine the first two columns, then fold in the rest.
+    # ``uniq_rows`` holds, per combined code, the pair of per-column
+    # code values; decoding through each column's uniques yields the
+    # composite key columns.
+    codes0, uniques0 = factorize(columns[0])
+    codes1, uniques1 = factorize(columns[1])
+    codes, uniq_rows = _combine((codes0, None), (codes1, None))
+    key_cols = [uniques0[uniq_rows[:, 0]], uniques1[uniq_rows[:, 1]]]
+    for col in columns[2:]:
+        col_codes, col_uniques = factorize(col)
+        codes, uniq_rows = _combine((codes, None), (col_codes, None))
+        key_cols = [kc[uniq_rows[:, 0]] for kc in key_cols]
+        key_cols.append(col_uniques[uniq_rows[:, 1]])
+    return codes, key_cols
+
+
+def _combine(left, right):
+    """Combine two code columns into one; returns codes + representatives.
+
+    ``left``/``right`` are ``(codes, uniques_or_None)`` pairs.  The result
+    codes follow lexicographic (left, right) order.  The second return is an
+    ``(n_unique, 2)`` array of representative *code* values per combined
+    code.
+    """
+    lcodes, _ = left
+    rcodes, _ = right
+    lmax = int(lcodes.max(initial=-1)) + 1
+    rmax = int(rcodes.max(initial=-1)) + 1
+    if lmax * max(rmax, 1) < np.iinfo(np.int64).max // 4:
+        mixed = lcodes * max(rmax, 1) + rcodes
+        uniques, codes = np.unique(mixed, return_inverse=True)
+        reps = np.stack(
+            [uniques // max(rmax, 1), uniques % max(rmax, 1)], axis=1
+        )
+        return codes.astype(np.int64).ravel(), reps
+    stacked = np.stack([lcodes, rcodes], axis=1)
+    uniques, codes = np.unique(stacked, axis=0, return_inverse=True)
+    return codes.astype(np.int64).ravel(), uniques
+
+
+def shared_codes(
+    left_columns: Sequence[np.ndarray],
+    right_columns: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Encode two relations' key columns over one shared dictionary.
+
+    Rows of the left and right inputs receive equal codes exactly when
+    their key tuples are equal, which is the precondition of
+    :func:`join_indices`.
+    """
+    if len(left_columns) != len(right_columns):
+        raise ValueError("key column lists must have equal arity")
+    n_left = len(left_columns[0]) if left_columns else 0
+    merged = [
+        np.concatenate([lc, rc]) for lc, rc in zip(left_columns, right_columns)
+    ]
+    if not merged:
+        # nullary key: single group containing every row
+        n_right = 0
+        return (
+            np.zeros(n_left, dtype=np.int64),
+            np.zeros(n_right, dtype=np.int64),
+        )
+    codes, _ = factorize_rows(merged)
+    return codes[:n_left], codes[n_left:]
+
+
+def join_indices(
+    left_codes: np.ndarray, right_codes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row indices realising the equi-join of two coded key columns.
+
+    Returns ``(left_idx, right_idx)`` such that
+    ``left_codes[left_idx] == right_codes[right_idx]`` and every matching
+    pair appears exactly once.  Handles many-to-many fan-out.  Output pairs
+    are grouped by left row (stable in left order, then right order).
+    """
+    order = np.argsort(right_codes, kind="stable")
+    sorted_right = right_codes[order]
+    starts = np.searchsorted(sorted_right, left_codes, side="left")
+    ends = np.searchsorted(sorted_right, left_codes, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    left_idx = np.repeat(np.arange(len(left_codes), dtype=np.int64), counts)
+    if total == 0:
+        return left_idx, np.empty(0, dtype=np.int64)
+    # positions within sorted_right: starts[i] + (0..counts[i]-1)
+    offsets = np.repeat(starts, counts)
+    group_begin = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    intra = np.arange(total, dtype=np.int64) - np.repeat(group_begin, counts)
+    right_idx = order[offsets + intra]
+    return left_idx, right_idx
+
+
+def semijoin_mask(
+    left_codes: np.ndarray, right_codes: np.ndarray
+) -> np.ndarray:
+    """Boolean mask of left rows that have at least one join partner."""
+    matches = np.isin(left_codes, right_codes)
+    return matches
+
+
+def group_sums(
+    codes: np.ndarray, values: np.ndarray, n_groups: int
+) -> np.ndarray:
+    """Sum ``values`` per group code (dense output of length n_groups)."""
+    if len(values) == 0:
+        return np.zeros(n_groups, dtype=np.float64)
+    return np.bincount(codes, weights=values, minlength=n_groups).astype(
+        np.float64, copy=False
+    )
+
+
+def group_aggregate(
+    key_columns: Sequence[np.ndarray],
+    value_columns: Sequence[np.ndarray],
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """SUM-aggregate value columns grouped by composite keys.
+
+    Returns ``(group_key_columns, summed_value_columns)`` with one row per
+    distinct key, in lexicographic key order.  With no key columns the
+    output is a single (possibly zero) total per value column.
+    """
+    if not key_columns:
+        sums = [
+            np.asarray([float(np.sum(v))]) if len(v) else np.asarray([0.0])
+            for v in value_columns
+        ]
+        return [], sums
+    codes, uniques = factorize_rows(list(key_columns))
+    n_groups = len(uniques[0])
+    summed = [group_sums(codes, v, n_groups) for v in value_columns]
+    return list(uniques), summed
+
+
+def lexsort_rows(columns: Sequence[np.ndarray]) -> np.ndarray:
+    """Permutation sorting rows lexicographically by ``columns``."""
+    if not columns:
+        raise ValueError("lexsort_rows requires at least one column")
+    # np.lexsort sorts by the *last* key first.
+    return np.lexsort(tuple(reversed(list(columns))))
+
+
+def distinct_count(column: np.ndarray) -> int:
+    """Number of distinct values in a column (the paper's domain size)."""
+    return int(len(np.unique(column)))

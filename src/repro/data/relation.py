@@ -1,0 +1,227 @@
+"""Columnar in-memory relations.
+
+A :class:`Relation` stores one NumPy array per attribute.  Relations are
+immutable from the engine's point of view: every operation returns a new
+relation sharing column arrays where possible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import ops
+from .schema import Attribute, Schema
+
+
+class Relation:
+    """A named relation with a :class:`Schema` and columnar payload."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        columns: Mapping[str, np.ndarray],
+    ):
+        self.name = name
+        self.schema = schema
+        cols: Dict[str, np.ndarray] = {}
+        n_rows: Optional[int] = None
+        for attr in schema:
+            if attr.name not in columns:
+                raise ValueError(
+                    f"relation {name!r} missing column {attr.name!r}"
+                )
+            col = np.asarray(columns[attr.name])
+            if n_rows is None:
+                n_rows = len(col)
+            elif len(col) != n_rows:
+                raise ValueError(
+                    f"relation {name!r}: column {attr.name!r} has "
+                    f"{len(col)} rows, expected {n_rows}"
+                )
+            cols[attr.name] = col
+        self._columns = cols
+        self._n_rows = n_rows if n_rows is not None else 0
+
+    # -- construction helpers ------------------------------------------
+
+    @classmethod
+    def from_dict(
+        cls,
+        name: str,
+        columns: Mapping[str, np.ndarray],
+        attributes: Optional[Sequence[Attribute]] = None,
+    ) -> "Relation":
+        """Build a relation, inferring a schema when none is given.
+
+        Integer columns are treated as categorical/key-like, float columns
+        as continuous.
+        """
+        if attributes is None:
+            attributes = []
+            for col_name, values in columns.items():
+                arr = np.asarray(values)
+                if np.issubdtype(arr.dtype, np.integer):
+                    attributes.append(
+                        Attribute(col_name, "categorical", arr.dtype)
+                    )
+                else:
+                    attributes.append(
+                        Attribute(col_name, "continuous", arr.dtype)
+                    )
+        return cls(name, Schema(attributes), columns)
+
+    # -- basic accessors ------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        return self.schema.names
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"relation {self.name!r} has no column {name!r}; "
+                f"columns are {list(self._columns)}"
+            ) from None
+
+    def columns(self, names: Iterable[str]) -> List[np.ndarray]:
+        return [self.column(n) for n in names]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def nbytes(self) -> int:
+        """Approximate in-memory size of the payload in bytes."""
+        return int(sum(c.nbytes for c in self._columns.values()))
+
+    def domain_size(self, name: str) -> int:
+        """Number of distinct values of an attribute (paper §3.5)."""
+        return ops.distinct_count(self.column(name))
+
+    # -- row-level operations -------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Relation":
+        """Relation restricted/reordered to the given row indices."""
+        return Relation(
+            self.name,
+            self.schema,
+            {n: c[indices] for n, c in self._columns.items()},
+        )
+
+    def filter(self, mask: np.ndarray) -> "Relation":
+        """Relation restricted to rows where ``mask`` is true."""
+        return Relation(
+            self.name,
+            self.schema,
+            {n: c[mask] for n, c in self._columns.items()},
+        )
+
+    def project(self, names: Sequence[str], name: Optional[str] = None) -> "Relation":
+        """Projection (no dedup) onto the named attributes."""
+        return Relation(
+            name or self.name,
+            self.schema.project(names),
+            {n: self._columns[n] for n in names},
+        )
+
+    def rename(self, name: str) -> "Relation":
+        return Relation(name, self.schema, self._columns)
+
+    def sorted_by(self, names: Sequence[str]) -> "Relation":
+        """Relation sorted lexicographically by the given attributes."""
+        order = ops.lexsort_rows(self.columns(names))
+        return self.take(order)
+
+    def with_column(self, attribute: Attribute, values: np.ndarray) -> "Relation":
+        """Relation extended with one additional column."""
+        if attribute.name in self._columns:
+            raise ValueError(f"column {attribute.name!r} already exists")
+        cols = dict(self._columns)
+        cols[attribute.name] = np.asarray(values)
+        return Relation(
+            self.name,
+            Schema(list(self.schema.attributes) + [attribute]),
+            cols,
+        )
+
+    # -- joins and aggregation ------------------------------------------
+
+    def join(self, other: "Relation", name: Optional[str] = None) -> "Relation":
+        """Natural join with ``other`` (full fan-out)."""
+        shared = self.schema.intersection(other.schema)
+        if shared:
+            lcodes, rcodes = ops.shared_codes(
+                self.columns(shared), other.columns(shared)
+            )
+            li, ri = ops.join_indices(lcodes, rcodes)
+        else:
+            # cross product
+            li = np.repeat(np.arange(self.n_rows), other.n_rows)
+            ri = np.tile(np.arange(other.n_rows), self.n_rows)
+        cols = {n: c[li] for n, c in self._columns.items()}
+        for attr in other.schema:
+            if attr.name not in cols:
+                cols[attr.name] = other.column(attr.name)[ri]
+        return Relation(
+            name or f"({self.name}⋈{other.name})",
+            self.schema.union(other.schema),
+            cols,
+        )
+
+    def group_by_sum(
+        self,
+        group_by: Sequence[str],
+        value_columns: Mapping[str, np.ndarray],
+        name: Optional[str] = None,
+    ) -> "Relation":
+        """SUM the given value arrays grouped by ``group_by`` attributes.
+
+        ``value_columns`` maps output column names to per-row value arrays
+        aligned with this relation's rows.
+        """
+        keys, sums = ops.group_aggregate(
+            self.columns(group_by), list(value_columns.values())
+        )
+        cols: Dict[str, np.ndarray] = {}
+        attrs: List[Attribute] = []
+        for attr_name, key_col in zip(group_by, keys):
+            attrs.append(self.schema[attr_name])
+            cols[attr_name] = key_col
+        for out_name, summed in zip(value_columns, sums):
+            attrs.append(Attribute(out_name, "continuous", np.float64))
+            cols[out_name] = summed
+        return Relation(name or f"γ({self.name})", Schema(attrs), cols)
+
+    def distinct(self, names: Sequence[str], name: Optional[str] = None) -> "Relation":
+        """Distinct projection onto the named attributes."""
+        if not names:
+            raise ValueError("distinct requires at least one attribute")
+        codes, uniques = ops.factorize_rows(self.columns(names))
+        cols = dict(zip(names, uniques))
+        return Relation(
+            name or f"δ({self.name})", self.schema.project(names), cols
+        )
+
+    # -- conversion -------------------------------------------------------
+
+    def to_rows(self) -> List[tuple]:
+        """Materialize as a list of Python tuples (tests/small data only)."""
+        arrays = [self._columns[n] for n in self.schema.names]
+        return list(zip(*(a.tolist() for a in arrays))) if arrays else []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Relation({self.name!r}, rows={self.n_rows}, "
+            f"attrs={list(self.schema.names)})"
+        )

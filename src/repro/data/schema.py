@@ -1,0 +1,146 @@
+"""Relation schemas and attribute metadata.
+
+LMFAO distinguishes *continuous* attributes (usable directly in arithmetic
+aggregates) from *categorical* attributes (one-hot encoded, i.e. turned into
+group-by attributes, eqs. (3)-(4) of the paper).  The schema layer records
+this distinction together with names and dtypes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+#: Kinds of attributes recognised by the engine.
+CONTINUOUS = "continuous"
+CATEGORICAL = "categorical"
+KEY = "key"
+
+_VALID_KINDS = (CONTINUOUS, CATEGORICAL, KEY)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column of a relation.
+
+    Parameters
+    ----------
+    name:
+        Attribute name; natural joins match attributes by name.
+    kind:
+        One of ``"continuous"``, ``"categorical"`` or ``"key"``.  Keys are
+        join attributes; they behave like categorical attributes when used
+        in group-by clauses but are excluded from default feature sets.
+    dtype:
+        NumPy dtype used to store the column.  Integer for keys and
+        categorical attributes, float for continuous ones by default.
+    """
+
+    name: str
+    kind: str = CONTINUOUS
+    dtype: np.dtype = field(default_factory=lambda: np.dtype("float64"))
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(f"unknown attribute kind {self.kind!r}")
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind in (CATEGORICAL, KEY)
+
+    @property
+    def is_continuous(self) -> bool:
+        return self.kind == CONTINUOUS
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Attribute({self.name!r}, {self.kind})"
+
+
+def key(name: str) -> Attribute:
+    """Shorthand for an integer join-key attribute."""
+    return Attribute(name, KEY, np.dtype("int64"))
+
+
+def categorical(name: str) -> Attribute:
+    """Shorthand for an integer-coded categorical attribute."""
+    return Attribute(name, CATEGORICAL, np.dtype("int64"))
+
+
+def continuous(name: str) -> Attribute:
+    """Shorthand for a float-valued continuous attribute."""
+    return Attribute(name, CONTINUOUS, np.dtype("float64"))
+
+
+class Schema:
+    """An ordered list of :class:`Attribute` with set semantics on names.
+
+    The paper treats relation schemas "as lists of attributes, also as
+    sets"; this class supports both views.
+    """
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        attrs = list(attributes)
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in schema: {names}")
+        self._attributes: Tuple[Attribute, ...] = tuple(attrs)
+        self._by_name = {a.name: a for a in attrs}
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"attribute {name!r} not in schema {self.names}"
+            ) from None
+
+    def get(self, name: str) -> Optional[Attribute]:
+        return self._by_name.get(name)
+
+    def name_set(self) -> frozenset:
+        return frozenset(self._by_name)
+
+    def intersection(self, other: "Schema") -> Tuple[str, ...]:
+        """Names shared with ``other``, in this schema's order."""
+        other_names = other.name_set()
+        return tuple(n for n in self.names if n in other_names)
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """A sub-schema restricted to ``names`` (kept in given order)."""
+        return Schema([self[n] for n in names])
+
+    def union(self, other: "Schema") -> "Schema":
+        """Schema with this schema's attributes then the new ones of other."""
+        extra = [a for a in other if a.name not in self._by_name]
+        return Schema(list(self._attributes) + extra)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Schema({list(self.names)})"

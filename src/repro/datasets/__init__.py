@@ -1,0 +1,24 @@
+"""Synthetic benchmark datasets mirroring the paper's four (Appendix A)."""
+
+from .base import Dataset, train_test_split_by
+from .favorita import favorita
+from .retailer import retailer
+from .tpcds import tpcds
+from .yelp import yelp
+
+ALL_DATASETS = {
+    "retailer": retailer,
+    "favorita": favorita,
+    "yelp": yelp,
+    "tpcds": tpcds,
+}
+
+__all__ = [
+    "Dataset",
+    "retailer",
+    "favorita",
+    "yelp",
+    "tpcds",
+    "ALL_DATASETS",
+    "train_test_split_by",
+]

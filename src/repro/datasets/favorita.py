@@ -1,0 +1,184 @@
+"""Synthetic Favorita: the star schema of Figure 3.
+
+    Sales(date, store, item, units, promo)           -- fact
+    Holidays(date, htype, locale, transferred)
+    StoRes(store, city, state, stype, cluster)
+    Items(item, family, class_, perishable)
+    Transactions(date, store, txns)
+    Oil(date, price)
+
+18 attributes, 6 relations, one many-to-one join per dimension — exactly
+the join tree the paper uses (Sales at the centre).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.relation import Relation
+from ..data.schema import Schema, categorical, continuous, key
+from ..data.database import Database
+from ..jointree.join_tree import join_tree_from_database
+from .base import Dataset, scaled, zipf_choice
+
+JOIN_TREE_EDGES = [
+    ("Sales", "Holidays"),
+    ("Sales", "Items"),
+    ("Sales", "Transactions"),
+    ("Transactions", "StoRes"),
+    ("Transactions", "Oil"),
+]
+
+
+def favorita(scale: float = 1.0, seed: int = 7) -> Dataset:
+    """Generate the synthetic Favorita dataset.
+
+    ``scale=1.0`` produces a ~60k-row fact table; the paper's original has
+    125M rows — plan shapes are identical, timings scale down.
+    """
+    rng = np.random.default_rng(seed)
+    n_dates = scaled(360, scale, minimum=30)
+    n_stores = scaled(54, scale, minimum=5)
+    n_items = scaled(400, scale, minimum=20)
+    n_sales = scaled(60_000, scale, minimum=500)
+
+    oil = Relation(
+        "Oil",
+        Schema([key("date"), continuous("price")]),
+        {
+            "date": np.arange(n_dates),
+            "price": np.round(
+                45.0 + np.cumsum(rng.normal(0.0, 0.8, n_dates)), 2
+            ),
+        },
+    )
+    holidays = Relation(
+        "Holidays",
+        Schema(
+            [
+                key("date"),
+                categorical("htype"),
+                categorical("locale"),
+                categorical("transferred"),
+            ]
+        ),
+        {
+            "date": np.arange(n_dates),
+            "htype": rng.integers(0, 6, n_dates),
+            "locale": rng.integers(0, 3, n_dates),
+            "transferred": rng.integers(0, 2, n_dates),
+        },
+    )
+    stores = Relation(
+        "StoRes",
+        Schema(
+            [
+                key("store"),
+                categorical("city"),
+                categorical("state"),
+                categorical("stype"),
+                categorical("cluster"),
+            ]
+        ),
+        {
+            "store": np.arange(n_stores),
+            "city": rng.integers(0, max(3, n_stores // 3), n_stores),
+            "state": rng.integers(0, max(2, n_stores // 6), n_stores),
+            "stype": rng.integers(0, 5, n_stores),
+            "cluster": rng.integers(0, 17, n_stores),
+        },
+    )
+    items = Relation(
+        "Items",
+        Schema(
+            [
+                key("item"),
+                categorical("family"),
+                categorical("class_"),
+                categorical("perishable"),
+            ]
+        ),
+        {
+            "item": np.arange(n_items),
+            "family": rng.integers(0, 33, n_items),
+            "class_": rng.integers(0, max(10, n_items // 8), n_items),
+            "perishable": rng.integers(0, 2, n_items),
+        },
+    )
+    # Transactions: one row per (date, store) pair that had sales
+    txn_date = np.repeat(np.arange(n_dates), n_stores)
+    txn_store = np.tile(np.arange(n_stores), n_dates)
+    transactions = Relation(
+        "Transactions",
+        Schema([key("date"), key("store"), continuous("txns")]),
+        {
+            "date": txn_date,
+            "store": txn_store,
+            "txns": np.round(rng.gamma(8.0, 180.0, len(txn_date))),
+        },
+    )
+    sale_date = rng.integers(0, n_dates, n_sales)
+    sale_store = rng.integers(0, n_stores, n_sales)
+    sale_item = zipf_choice(rng, n_items, n_sales)
+    promo = (rng.random(n_sales) < 0.12).astype(np.int64)
+    base_units = rng.gamma(2.0, 4.0, n_sales)
+    units = np.round(base_units * (1.0 + 0.5 * promo), 3)
+    sales = Relation(
+        "Sales",
+        Schema(
+            [
+                key("date"),
+                key("store"),
+                key("item"),
+                continuous("units"),
+                categorical("promo"),
+            ]
+        ),
+        {
+            "date": sale_date,
+            "store": sale_store,
+            "item": sale_item,
+            "units": units,
+            "promo": promo,
+        },
+    )
+    database = Database(
+        [sales, holidays, stores, items, transactions, oil], name="favorita"
+    )
+    join_tree = join_tree_from_database(database, edges=JOIN_TREE_EDGES)
+    return Dataset(
+        name="favorita",
+        database=database,
+        join_tree=join_tree,
+        # the paper uses all attributes but date and item as features
+        continuous_features=["txns", "price"],
+        categorical_features=[
+            "store",
+            "promo",
+            "htype",
+            "locale",
+            "transferred",
+            "city",
+            "state",
+            "stype",
+            "cluster",
+            "family",
+            "class_",
+            "perishable",
+        ],
+        label="units",
+        discrete_attrs=[
+            "promo",
+            "htype",
+            "locale",
+            "transferred",
+            "city",
+            "state",
+            "stype",
+            "cluster",
+            "family",
+            "perishable",
+        ],
+        cube_dimensions=["family", "stype", "locale"],
+        cube_measures=["units", "txns", "price", "promo", "perishable"],
+    )

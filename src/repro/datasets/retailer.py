@@ -1,0 +1,202 @@
+"""Synthetic Retailer: the 5-relation snowflake of Figure 6(a).
+
+    Inventory(locn, dateid, ksn, inventoryunits)      -- fact
+    Location(locn, zip, rgn_cd, clim_zn_nbr, tot_area_sq_ft,
+             sell_area_sq_ft, avghhi, distance_comp)
+    Census(zip, population, white, asian, pacific, black, median_age,
+           occupied_houses, houses, families, households, husb_wife,
+           males, females)
+    Weather(locn, dateid, rain, snow, maxtemp, mintemp, meanwind, thunder)
+    Items(ksn, price, category, subcategory, category_cluster)
+
+43 attributes; Census hangs off Location (snowflake), Weather and Items
+join the fact table directly, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.database import Database
+from ..data.relation import Relation
+from ..data.schema import Schema, categorical, continuous, key
+from ..jointree.join_tree import join_tree_from_database
+from .base import Dataset, scaled, zipf_choice
+
+JOIN_TREE_EDGES = [
+    ("Inventory", "Location"),
+    ("Location", "Census"),
+    ("Inventory", "Weather"),
+    ("Inventory", "Items"),
+]
+
+
+def retailer(scale: float = 1.0, seed: int = 11) -> Dataset:
+    """Generate the synthetic Retailer dataset (fact ~70k rows at scale 1)."""
+    rng = np.random.default_rng(seed)
+    n_locations = scaled(80, scale, minimum=6)
+    n_zips = max(4, n_locations // 2)
+    n_dates = scaled(120, scale, minimum=20)
+    n_items = scaled(500, scale, minimum=25)
+    n_fact = scaled(70_000, scale, minimum=500)
+
+    location = Relation(
+        "Location",
+        Schema(
+            [
+                key("locn"),
+                key("zip"),
+                categorical("rgn_cd"),
+                categorical("clim_zn_nbr"),
+                continuous("tot_area_sq_ft"),
+                continuous("sell_area_sq_ft"),
+                continuous("avghhi"),
+                continuous("distance_comp"),
+            ]
+        ),
+        {
+            "locn": np.arange(n_locations),
+            "zip": rng.integers(0, n_zips, n_locations),
+            "rgn_cd": rng.integers(0, 6, n_locations),
+            "clim_zn_nbr": rng.integers(0, 9, n_locations),
+            "tot_area_sq_ft": np.round(rng.normal(95_000, 15_000, n_locations)),
+            "sell_area_sq_ft": np.round(rng.normal(60_000, 9_000, n_locations)),
+            "avghhi": np.round(rng.normal(55_000, 12_000, n_locations)),
+            "distance_comp": np.round(rng.gamma(2.0, 3.0, n_locations), 2),
+        },
+    )
+    census_cols = {
+        "zip": np.arange(n_zips),
+        "population": np.round(rng.gamma(4.0, 9_000.0, n_zips)),
+        "white": np.round(rng.gamma(3.0, 5_000.0, n_zips)),
+        "asian": np.round(rng.gamma(2.0, 1_200.0, n_zips)),
+        "pacific": np.round(rng.gamma(1.5, 150.0, n_zips)),
+        "black": np.round(rng.gamma(2.0, 2_500.0, n_zips)),
+        "median_age": np.round(rng.normal(38.0, 5.0, n_zips), 1),
+        "occupied_houses": np.round(rng.gamma(3.0, 4_000.0, n_zips)),
+        "houses": np.round(rng.gamma(3.0, 4_500.0, n_zips)),
+        "families": np.round(rng.gamma(3.0, 3_000.0, n_zips)),
+        "households": np.round(rng.gamma(3.0, 3_800.0, n_zips)),
+        "husb_wife": np.round(rng.gamma(3.0, 2_000.0, n_zips)),
+        "males": np.round(rng.gamma(3.0, 4_400.0, n_zips)),
+        "females": np.round(rng.gamma(3.0, 4_600.0, n_zips)),
+    }
+    census = Relation(
+        "Census",
+        Schema(
+            [key("zip")]
+            + [continuous(name) for name in census_cols if name != "zip"]
+        ),
+        census_cols,
+    )
+    weather_date = np.repeat(np.arange(n_dates), n_locations)
+    weather_locn = np.tile(np.arange(n_locations), n_dates)
+    n_weather = len(weather_date)
+    weather = Relation(
+        "Weather",
+        Schema(
+            [
+                key("locn"),
+                key("dateid"),
+                categorical("rain"),
+                categorical("snow"),
+                continuous("maxtemp"),
+                continuous("mintemp"),
+                continuous("meanwind"),
+                categorical("thunder"),
+            ]
+        ),
+        {
+            "locn": weather_locn,
+            "dateid": weather_date,
+            "rain": rng.integers(0, 2, n_weather),
+            "snow": rng.integers(0, 2, n_weather),
+            "maxtemp": np.round(rng.normal(18.0, 9.0, n_weather), 1),
+            "mintemp": np.round(rng.normal(8.0, 8.0, n_weather), 1),
+            "meanwind": np.round(rng.gamma(2.0, 4.0, n_weather), 1),
+            "thunder": rng.integers(0, 2, n_weather),
+        },
+    )
+    items = Relation(
+        "Items",
+        Schema(
+            [
+                key("ksn"),
+                continuous("price"),
+                categorical("category"),
+                categorical("subcategory"),
+                categorical("category_cluster"),
+            ]
+        ),
+        {
+            "ksn": np.arange(n_items),
+            "price": np.round(rng.gamma(2.0, 12.0, n_items), 2),
+            "category": rng.integers(0, 12, n_items),
+            "subcategory": rng.integers(0, 40, n_items),
+            "category_cluster": rng.integers(0, 8, n_items),
+        },
+    )
+    fact_locn = rng.integers(0, n_locations, n_fact)
+    fact_date = rng.integers(0, n_dates, n_fact)
+    fact_ksn = zipf_choice(rng, n_items, n_fact)
+    inventory = Relation(
+        "Inventory",
+        Schema(
+            [
+                key("locn"),
+                key("dateid"),
+                key("ksn"),
+                continuous("inventoryunits"),
+            ]
+        ),
+        {
+            "locn": fact_locn,
+            "dateid": fact_date,
+            "ksn": fact_ksn,
+            "inventoryunits": np.round(rng.gamma(2.5, 8.0, n_fact)),
+        },
+    )
+    database = Database(
+        [inventory, location, census, weather, items], name="retailer"
+    )
+    join_tree = join_tree_from_database(database, edges=JOIN_TREE_EDGES)
+    continuous_features = [
+        "tot_area_sq_ft",
+        "sell_area_sq_ft",
+        "avghhi",
+        "distance_comp",
+        "maxtemp",
+        "mintemp",
+        "meanwind",
+        "price",
+    ] + [name for name in census_cols if name != "zip"]
+    return Dataset(
+        name="retailer",
+        database=database,
+        join_tree=join_tree,
+        continuous_features=continuous_features,
+        categorical_features=[
+            "rgn_cd",
+            "clim_zn_nbr",
+            "rain",
+            "snow",
+            "thunder",
+            "category",
+            "subcategory",
+            "category_cluster",
+        ],
+        label="inventoryunits",
+        discrete_attrs=[
+            "rgn_cd",
+            "clim_zn_nbr",
+            "rain",
+            "snow",
+            "thunder",
+            "category",
+            "subcategory",
+            "category_cluster",
+            "zip",
+        ],
+        cube_dimensions=["category", "rgn_cd", "rain"],
+        cube_measures=["inventoryunits", "price", "avghhi", "maxtemp", "population"],
+    )

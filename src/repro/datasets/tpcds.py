@@ -1,0 +1,323 @@
+"""Synthetic TPC-DS excerpt: the 10-relation snowflake of Figure 6(d).
+
+    Store_Sales(ss_sold_date, ss_sold_time, ss_item, ss_customer,
+                ss_store, ss_hdemo, ss_quantity, ss_list_price,
+                ss_sales_price, ss_net_profit)               -- fact
+    Customer(ss_customer, c_address, c_demo, c_birth_year,
+             preferred)                                       -- dimension
+    C_Address(c_address, ca_city, ca_state, ca_gmt_offset)
+    C_Demo(c_demo, cd_gender, cd_marital, cd_education, cd_purchase_est)
+    Date(ss_sold_date, d_year, d_moy, d_dow, d_holiday)
+    Time(ss_sold_time, t_hour, t_am_pm)
+    Item(ss_item, i_brand, i_class, i_category, i_current_price)
+    Store(ss_store, s_city, s_tax, s_floor_space)
+    H_Demo(ss_hdemo, hd_income_band, hd_dep_count, hd_vehicle_count)
+    Inc_Band(hd_income_band, ib_lower_bound, ib_upper_bound)
+
+The ``preferred`` flag on Customer is the classification-tree label, as
+in the Relational Dataset Repository task the paper uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.database import Database
+from ..data.relation import Relation
+from ..data.schema import Schema, categorical, continuous, key
+from ..jointree.join_tree import join_tree_from_database
+from .base import Dataset, scaled, zipf_choice
+
+JOIN_TREE_EDGES = [
+    ("Store_Sales", "Customer"),
+    ("Customer", "C_Address"),
+    ("Customer", "C_Demo"),
+    ("Store_Sales", "Date"),
+    ("Store_Sales", "Time"),
+    ("Store_Sales", "Item"),
+    ("Store_Sales", "Store"),
+    ("Store_Sales", "H_Demo"),
+    ("H_Demo", "Inc_Band"),
+]
+
+
+def tpcds(scale: float = 1.0, seed: int = 31) -> Dataset:
+    """Generate the synthetic TPC-DS excerpt (fact ~50k rows at scale 1)."""
+    rng = np.random.default_rng(seed)
+    n_dates = scaled(240, scale, minimum=30)
+    n_times = scaled(96, scale, minimum=12)
+    n_items = scaled(600, scale, minimum=30)
+    n_stores = scaled(24, scale, minimum=4)
+    n_customers = scaled(1_500, scale, minimum=60)
+    n_addresses = max(20, n_customers // 2)
+    n_cdemos = max(12, n_customers // 8)
+    n_hdemos = scaled(72, scale, minimum=8)
+    n_bands = 20
+    n_fact = scaled(50_000, scale, minimum=500)
+
+    date = Relation(
+        "Date",
+        Schema(
+            [
+                key("ss_sold_date"),
+                categorical("d_year"),
+                categorical("d_moy"),
+                categorical("d_dow"),
+                categorical("d_holiday"),
+            ]
+        ),
+        {
+            "ss_sold_date": np.arange(n_dates),
+            "d_year": 1998 + (np.arange(n_dates) // 365),
+            "d_moy": (np.arange(n_dates) // 30) % 12,
+            "d_dow": np.arange(n_dates) % 7,
+            "d_holiday": (rng.random(n_dates) < 0.08).astype(np.int64),
+        },
+    )
+    time_rel = Relation(
+        "Time",
+        Schema([key("ss_sold_time"), categorical("t_hour"), categorical("t_am_pm")]),
+        {
+            "ss_sold_time": np.arange(n_times),
+            "t_hour": (np.arange(n_times) * 24) // n_times,
+            "t_am_pm": ((np.arange(n_times) * 24) // n_times >= 12).astype(
+                np.int64
+            ),
+        },
+    )
+    item = Relation(
+        "Item",
+        Schema(
+            [
+                key("ss_item"),
+                categorical("i_brand"),
+                categorical("i_class"),
+                categorical("i_category"),
+                continuous("i_current_price"),
+            ]
+        ),
+        {
+            "ss_item": np.arange(n_items),
+            "i_brand": rng.integers(0, 50, n_items),
+            "i_class": rng.integers(0, 16, n_items),
+            "i_category": rng.integers(0, 10, n_items),
+            "i_current_price": np.round(rng.gamma(2.0, 25.0, n_items), 2),
+        },
+    )
+    store = Relation(
+        "Store",
+        Schema(
+            [
+                key("ss_store"),
+                categorical("s_city"),
+                continuous("s_tax"),
+                continuous("s_floor_space"),
+            ]
+        ),
+        {
+            "ss_store": np.arange(n_stores),
+            "s_city": rng.integers(0, 8, n_stores),
+            "s_tax": np.round(rng.uniform(0.0, 0.11, n_stores), 3),
+            "s_floor_space": np.round(
+                rng.normal(7_500_000, 1_500_000, n_stores)
+            ),
+        },
+    )
+    inc_band = Relation(
+        "Inc_Band",
+        Schema(
+            [
+                key("hd_income_band"),
+                continuous("ib_lower_bound"),
+                continuous("ib_upper_bound"),
+            ]
+        ),
+        {
+            "hd_income_band": np.arange(n_bands),
+            "ib_lower_bound": np.arange(n_bands) * 10_000.0,
+            "ib_upper_bound": (np.arange(n_bands) + 1) * 10_000.0,
+        },
+    )
+    h_demo = Relation(
+        "H_Demo",
+        Schema(
+            [
+                key("ss_hdemo"),
+                key("hd_income_band"),
+                continuous("hd_dep_count"),
+                continuous("hd_vehicle_count"),
+            ]
+        ),
+        {
+            "ss_hdemo": np.arange(n_hdemos),
+            "hd_income_band": rng.integers(0, n_bands, n_hdemos),
+            "hd_dep_count": rng.integers(0, 9, n_hdemos).astype(np.float64),
+            "hd_vehicle_count": rng.integers(0, 4, n_hdemos).astype(
+                np.float64
+            ),
+        },
+    )
+    c_address = Relation(
+        "C_Address",
+        Schema(
+            [
+                key("c_address"),
+                categorical("ca_city"),
+                categorical("ca_state"),
+                continuous("ca_gmt_offset"),
+            ]
+        ),
+        {
+            "c_address": np.arange(n_addresses),
+            "ca_city": rng.integers(0, 60, n_addresses),
+            "ca_state": rng.integers(0, 50, n_addresses),
+            "ca_gmt_offset": rng.integers(-10, -4, n_addresses).astype(
+                np.float64
+            ),
+        },
+    )
+    c_demo = Relation(
+        "C_Demo",
+        Schema(
+            [
+                key("c_demo"),
+                categorical("cd_gender"),
+                categorical("cd_marital"),
+                categorical("cd_education"),
+                continuous("cd_purchase_est"),
+            ]
+        ),
+        {
+            "c_demo": np.arange(n_cdemos),
+            "cd_gender": rng.integers(0, 2, n_cdemos),
+            "cd_marital": rng.integers(0, 5, n_cdemos),
+            "cd_education": rng.integers(0, 7, n_cdemos),
+            "cd_purchase_est": np.round(rng.gamma(2.0, 2_500.0, n_cdemos)),
+        },
+    )
+    cust_demo = rng.integers(0, n_cdemos, n_customers)
+    cust_birth = rng.integers(1930, 2000, n_customers)
+    # "preferred" correlates with demographics so trees have signal
+    preferred_probability = 0.25 + 0.5 * (cust_demo % 3 == 0)
+    customer = Relation(
+        "Customer",
+        Schema(
+            [
+                key("ss_customer"),
+                key("c_address"),
+                key("c_demo"),
+                categorical("c_birth_year"),
+                categorical("preferred"),
+            ]
+        ),
+        {
+            "ss_customer": np.arange(n_customers),
+            "c_address": rng.integers(0, n_addresses, n_customers),
+            "c_demo": cust_demo,
+            "c_birth_year": cust_birth,
+            "preferred": (
+                rng.random(n_customers) < preferred_probability
+            ).astype(np.int64),
+        },
+    )
+    fact_customer = zipf_choice(rng, n_customers, n_fact)
+    quantity = rng.integers(1, 100, n_fact).astype(np.float64)
+    list_price = np.round(rng.gamma(2.0, 30.0, n_fact), 2)
+    sales_price = np.round(list_price * rng.uniform(0.4, 1.0, n_fact), 2)
+    store_sales = Relation(
+        "Store_Sales",
+        Schema(
+            [
+                key("ss_sold_date"),
+                key("ss_sold_time"),
+                key("ss_item"),
+                key("ss_customer"),
+                key("ss_store"),
+                key("ss_hdemo"),
+                continuous("ss_quantity"),
+                continuous("ss_list_price"),
+                continuous("ss_sales_price"),
+                continuous("ss_net_profit"),
+            ]
+        ),
+        {
+            "ss_sold_date": rng.integers(0, n_dates, n_fact),
+            "ss_sold_time": rng.integers(0, n_times, n_fact),
+            "ss_item": zipf_choice(rng, n_items, n_fact),
+            "ss_customer": fact_customer,
+            "ss_store": rng.integers(0, n_stores, n_fact),
+            "ss_hdemo": rng.integers(0, n_hdemos, n_fact),
+            "ss_quantity": quantity,
+            "ss_list_price": list_price,
+            "ss_sales_price": sales_price,
+            "ss_net_profit": np.round(
+                quantity * (sales_price - 0.7 * list_price), 2
+            ),
+        },
+    )
+    database = Database(
+        [
+            store_sales,
+            customer,
+            c_address,
+            c_demo,
+            date,
+            time_rel,
+            item,
+            store,
+            h_demo,
+            inc_band,
+        ],
+        name="tpcds",
+    )
+    join_tree = join_tree_from_database(database, edges=JOIN_TREE_EDGES)
+    return Dataset(
+        name="tpcds",
+        database=database,
+        join_tree=join_tree,
+        continuous_features=[
+            "ss_quantity",
+            "ss_list_price",
+            "ss_sales_price",
+            "ss_net_profit",
+            "i_current_price",
+            "s_tax",
+            "s_floor_space",
+            "hd_dep_count",
+            "hd_vehicle_count",
+            "ib_lower_bound",
+            "ib_upper_bound",
+            "cd_purchase_est",
+            "ca_gmt_offset",
+        ],
+        categorical_features=[
+            "d_moy",
+            "d_dow",
+            "d_holiday",
+            "t_am_pm",
+            "i_class",
+            "i_category",
+            "s_city",
+            "cd_gender",
+            "cd_marital",
+            "cd_education",
+            "ca_state",
+        ],
+        label="preferred",
+        discrete_attrs=[
+            "d_moy",
+            "d_dow",
+            "d_holiday",
+            "t_am_pm",
+            "i_class",
+            "i_category",
+            "s_city",
+            "cd_gender",
+            "cd_marital",
+            "cd_education",
+            "ca_state",
+            "preferred",
+        ],
+        cube_dimensions=["i_category", "s_city", "d_moy"],
+        cube_measures=["ss_quantity", "ss_net_profit", "ss_sales_price", "ss_list_price", "i_current_price"],
+    )

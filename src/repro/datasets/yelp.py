@@ -1,0 +1,158 @@
+"""Synthetic Yelp: star schema with many-to-many joins (Figure 6c).
+
+    Review(user, business, stars, useful, review_year)   -- fact
+    User(user, review_count, user_avg_stars, fans, user_years)
+    Business(business, b_city, b_stars, b_review_cnt, is_open)
+    Category(business, category)                          -- many-to-many
+    Attribute(business, attribute)                        -- many-to-many
+
+The distinguishing property of Yelp in Table 1 is that the join result is
+far larger than the database: every review row fans out over all of its
+business's categories and attributes.  LMFAO's decomposition avoids
+materializing that blow-up; materialized baselines pay for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.database import Database
+from ..data.relation import Relation
+from ..data.schema import Schema, categorical, continuous, key
+from ..jointree.join_tree import join_tree_from_database
+from .base import Dataset, scaled, zipf_choice
+
+JOIN_TREE_EDGES = [
+    ("Review", "User"),
+    ("Review", "Business"),
+    ("Business", "Category"),
+    ("Business", "Attribute"),
+]
+
+
+def yelp(scale: float = 1.0, seed: int = 23) -> Dataset:
+    """Generate the synthetic Yelp dataset (fact ~30k rows at scale 1)."""
+    rng = np.random.default_rng(seed)
+    n_users = scaled(2_000, scale, minimum=50)
+    n_businesses = scaled(600, scale, minimum=20)
+    n_reviews = scaled(30_000, scale, minimum=400)
+
+    users = Relation(
+        "User",
+        Schema(
+            [
+                key("user"),
+                continuous("review_count"),
+                continuous("user_avg_stars"),
+                continuous("fans"),
+                continuous("user_years"),
+            ]
+        ),
+        {
+            "user": np.arange(n_users),
+            "review_count": np.round(rng.gamma(1.5, 20.0, n_users)),
+            "user_avg_stars": np.round(
+                np.clip(rng.normal(3.7, 0.7, n_users), 1.0, 5.0), 2
+            ),
+            "fans": np.round(rng.gamma(1.2, 4.0, n_users)),
+            "user_years": np.round(rng.uniform(0.0, 14.0, n_users), 1),
+        },
+    )
+    businesses = Relation(
+        "Business",
+        Schema(
+            [
+                key("business"),
+                categorical("b_city"),
+                continuous("b_stars"),
+                continuous("b_review_cnt"),
+                categorical("is_open"),
+            ]
+        ),
+        {
+            "business": np.arange(n_businesses),
+            "b_city": rng.integers(0, 20, n_businesses),
+            "b_stars": np.round(
+                np.clip(rng.normal(3.6, 0.8, n_businesses), 1.0, 5.0), 1
+            ),
+            "b_review_cnt": np.round(rng.gamma(1.5, 60.0, n_businesses)),
+            "is_open": rng.integers(0, 2, n_businesses),
+        },
+    )
+    # many-to-many: each business has 2-6 categories, 3-9 attributes
+    cat_counts = rng.integers(2, 7, n_businesses)
+    cat_business = np.repeat(np.arange(n_businesses), cat_counts)
+    categories = Relation(
+        "Category",
+        Schema([key("business"), categorical("category")]),
+        {
+            "business": cat_business,
+            "category": rng.integers(0, 40, len(cat_business)),
+        },
+    )
+    attr_counts = rng.integers(3, 10, n_businesses)
+    attr_business = np.repeat(np.arange(n_businesses), attr_counts)
+    attributes = Relation(
+        "Attribute",
+        Schema([key("business"), categorical("attribute")]),
+        {
+            "business": attr_business,
+            "attribute": rng.integers(0, 30, len(attr_business)),
+        },
+    )
+    review_user = zipf_choice(rng, n_users, n_reviews)
+    review_business = zipf_choice(rng, n_businesses, n_reviews)
+    reviews = Relation(
+        "Review",
+        Schema(
+            [
+                key("user"),
+                key("business"),
+                continuous("stars"),
+                continuous("useful"),
+                categorical("review_year"),
+            ]
+        ),
+        {
+            "user": review_user,
+            "business": review_business,
+            "stars": rng.integers(1, 6, n_reviews).astype(np.float64),
+            "useful": np.round(rng.gamma(1.0, 2.0, n_reviews)),
+            "review_year": rng.integers(2010, 2018, n_reviews),
+        },
+    )
+    database = Database(
+        [reviews, users, businesses, categories, attributes], name="yelp"
+    )
+    join_tree = join_tree_from_database(database, edges=JOIN_TREE_EDGES)
+    return Dataset(
+        name="yelp",
+        database=database,
+        join_tree=join_tree,
+        continuous_features=[
+            "useful",
+            "review_count",
+            "user_avg_stars",
+            "fans",
+            "user_years",
+            "b_stars",
+            "b_review_cnt",
+        ],
+        categorical_features=[
+            "review_year",
+            "b_city",
+            "is_open",
+            "category",
+            "attribute",
+        ],
+        label="stars",
+        discrete_attrs=[
+            "review_year",
+            "b_city",
+            "is_open",
+            "category",
+            "attribute",
+        ],
+        cube_dimensions=["b_city", "is_open", "review_year"],
+        cube_measures=["stars", "useful", "b_review_cnt", "b_stars", "fans"],
+    )

@@ -1,0 +1,30 @@
+"""The LMFAO engine: layered optimization and execution of aggregate batches."""
+
+from .engine import LMFAO, BatchResult, EnginePlan
+from .explain import explain
+from .grouping import GroupedPlan, ViewGroup, group_views
+from .sql import render_batch_sql
+from .pushdown import DecomposedBatch, Decomposer
+from .roots import assign_roots, possible_roots
+from .stats import PlanStatistics
+from .views import AggregateSpec, QueryOutput, View, ViewRef
+
+__all__ = [
+    "LMFAO",
+    "BatchResult",
+    "EnginePlan",
+    "PlanStatistics",
+    "Decomposer",
+    "DecomposedBatch",
+    "assign_roots",
+    "possible_roots",
+    "group_views",
+    "GroupedPlan",
+    "ViewGroup",
+    "View",
+    "ViewRef",
+    "AggregateSpec",
+    "QueryOutput",
+    "explain",
+    "render_batch_sql",
+]

@@ -1,0 +1,305 @@
+"""The LMFAO engine facade: all layers wired together (paper Figure 1).
+
+    Aggregates -> Join Tree -> Find Roots -> Aggregate Pushdown
+    -> Merge Views -> Group Views -> Multi-Output Optimization
+    -> Parallelization -> Compilation
+
+Usage::
+
+    engine = LMFAO(database)
+    results = engine.run(batch)      # query name -> Relation
+    stats = engine.plan(batch).statistics
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.database import Database
+from ..data.relation import Relation
+from ..data.schema import Attribute, Schema
+from ..jointree.join_tree import JoinTree, join_tree_from_database
+from ..query.query import QueryBatch
+from . import codegen
+from .attribute_order import sort_database
+from .grouping import GroupedPlan, group_views
+from .interpreter import ViewData, execute_plan
+from .parallel import merge_partials, run_partitioned
+from .plan import GroupPlan, build_group_plan
+from .pushdown import DecomposedBatch, Decomposer
+from .roots import assign_roots
+from .stats import PlanStatistics, compute_statistics
+
+
+@dataclass
+class EnginePlan:
+    """A fully planned (and possibly compiled) batch."""
+
+    decomposed: DecomposedBatch
+    grouped: GroupedPlan
+    group_plans: List[GroupPlan]
+    compiled_fns: List[Optional[Callable]]
+    statistics: PlanStatistics
+    n_dynamic: int
+
+    def describe(self) -> str:
+        """Dump all group plans (Figure 4 analog)."""
+        return "\n\n".join(p.describe() for p in self.group_plans)
+
+    def generated_source(self) -> str:
+        """The generated specialized code (Figure 7 analog)."""
+        return "\n\n".join(
+            codegen.render_source(p, fn_name=f"group_fn_{p.group.id}")
+            for p in self.group_plans
+        )
+
+
+class BatchResult(dict):
+    """Query name -> result Relation, plus timing metadata."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.plan_seconds: float = 0.0
+        self.execute_seconds: float = 0.0
+
+
+class LMFAO:
+    """Layered multiple functional aggregate optimization engine.
+
+    Parameters mirror the paper's optimization layers so ablations
+    (Figure 5) can switch each one off:
+
+    * ``multi_root`` — Find Roots uses per-query roots (§3.3);
+    * ``merge_mode`` — ``"full"`` / ``"dedup"`` / ``"none"`` (§3.4);
+    * ``group_views`` — Multi-Output groups (§3.5) vs one view per plan;
+    * ``compile`` — generate + compile specialized code vs interpret;
+    * ``n_threads`` — task/domain parallelism (1 = serial);
+    * ``sort_inputs`` — sort relations by their attribute orders.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        join_tree: Optional[JoinTree] = None,
+        *,
+        multi_root: bool = True,
+        merge_mode: str = "full",
+        group_views: bool = True,
+        compile: bool = True,
+        n_threads: int = 1,
+        sort_inputs: bool = True,
+        partition_threshold: int = 20_000,
+    ):
+        self.join_tree = join_tree or join_tree_from_database(database)
+        self.database = (
+            sort_database(database, self.join_tree)
+            if sort_inputs
+            else database
+        )
+        self.multi_root = multi_root
+        self.merge_mode = merge_mode
+        self.group_views_enabled = group_views
+        self.compile_enabled = compile
+        self.n_threads = max(1, int(n_threads))
+        self.partition_threshold = partition_threshold
+        self._plan_cache: Dict[tuple, EnginePlan] = {}
+
+    # -- planning -----------------------------------------------------------
+
+    def plan(self, batch: QueryBatch) -> EnginePlan:
+        """Plan (and compile) a batch; cached on structural signature."""
+        cache_key = (
+            batch.structural_signature(),
+            self.multi_root,
+            self.merge_mode,
+            self.group_views_enabled,
+            self.compile_enabled,
+        )
+        cached = self._plan_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        dyn_functions = batch.dynamic_functions()
+        dyn_slots = {id(f): i for i, f in enumerate(dyn_functions)}
+        roots = assign_roots(
+            batch, self.join_tree, self.database, multi_root=self.multi_root
+        )
+        decomposer = Decomposer(
+            self.join_tree, merge_mode=self.merge_mode, dyn_slots=dyn_slots
+        )
+        decomposed = decomposer.decompose(batch, roots)
+        grouped = group_views(
+            decomposed, group_enabled=self.group_views_enabled
+        )
+        group_plans = [
+            build_group_plan(
+                group,
+                decomposed.views,
+                self.database.relation(group.node),
+                dyn_slots,
+            )
+            for group in grouped.groups
+        ]
+        compiled: List[Optional[Callable]] = [None] * len(group_plans)
+        if self.compile_enabled:
+            compiled = [codegen.compile_plan(p) for p in group_plans]
+        plan = EnginePlan(
+            decomposed=decomposed,
+            grouped=grouped,
+            group_plans=group_plans,
+            compiled_fns=compiled,
+            statistics=compute_statistics(batch, decomposed, grouped),
+            n_dynamic=len(dyn_functions),
+        )
+        self._plan_cache[cache_key] = plan
+        return plan
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, batch: QueryBatch) -> BatchResult:
+        """Evaluate a batch; returns query name -> result Relation."""
+        t0 = time.perf_counter()
+        plan = self.plan(batch)
+        t1 = time.perf_counter()
+        dyn = batch.dynamic_functions()
+        if len(dyn) != plan.n_dynamic:
+            raise ValueError(
+                "batch dynamic-function count changed between planning "
+                "and execution"
+            )
+        view_data = self._execute(plan, dyn)
+        result = self._assemble(batch, plan, view_data)
+        result.plan_seconds = t1 - t0
+        result.execute_seconds = time.perf_counter() - t1
+        return result
+
+    def _execute(
+        self, plan: EnginePlan, dyn: Sequence
+    ) -> Dict[int, ViewData]:
+        view_data: Dict[int, ViewData] = {}
+        levels = plan.grouped.execution_levels()
+        if self.n_threads == 1:
+            for level in levels:
+                for gid in level:
+                    view_data.update(self._run_group(plan, gid, view_data, dyn))
+            return view_data
+        with ThreadPoolExecutor(max_workers=self.n_threads) as executor:
+            for level in levels:
+                futures = [
+                    executor.submit(
+                        self._run_group, plan, gid, view_data, dyn, executor
+                    )
+                    for gid in level
+                ]
+                for future in futures:
+                    view_data.update(future.result())
+        return view_data
+
+    def _run_group(
+        self,
+        plan: EnginePlan,
+        group_id: int,
+        view_data: Dict[int, ViewData],
+        dyn: Sequence,
+        executor: Optional[ThreadPoolExecutor] = None,
+    ) -> Dict[int, ViewData]:
+        group_plan = plan.group_plans[group_id]
+        relation = self.database.relation(group_plan.node)
+        incoming = {
+            vid: view_data[vid] for vid in group_plan.input_view_ids
+        }
+        runner = self._runner(plan, group_id)
+        if (
+            executor is not None
+            and relation.n_rows >= self.partition_threshold
+        ):
+            return run_partitioned(
+                runner, relation, incoming, dyn, self.n_threads, executor
+            )
+        return runner(relation, incoming, dyn)
+
+    def _runner(self, plan: EnginePlan, group_id: int):
+        group_plan = plan.group_plans[group_id]
+        compiled = plan.compiled_fns[group_id]
+        if compiled is None:
+            def run(relation, incoming, dyn):
+                return execute_plan(group_plan, relation, incoming, dyn)
+
+            return run
+
+        def run_compiled(relation, incoming, dyn):
+            rel_cols = {
+                name: relation.column(name)
+                for name in group_plan.relation_attrs
+            }
+            key_cols = {vid: vd.key_cols for vid, vd in incoming.items()}
+            agg_cols = {vid: vd.agg_cols for vid, vd in incoming.items()}
+            raw = compiled(rel_cols, relation.n_rows, key_cols, agg_cols, dyn)
+            return {
+                vid: ViewData(
+                    group_by=group_by,
+                    key_cols=list(keys),
+                    agg_cols=[
+                        np.asarray(a, dtype=np.float64) for a in aggs
+                    ],
+                )
+                for vid, (group_by, keys, aggs) in raw.items()
+            }
+
+        return run_compiled
+
+    # -- output assembly ------------------------------------------------------
+
+    def _assemble(
+        self,
+        batch: QueryBatch,
+        plan: EnginePlan,
+        view_data: Dict[int, ViewData],
+    ) -> BatchResult:
+        result = BatchResult()
+        outputs_by_name = {o.query_name: o for o in plan.decomposed.outputs}
+        for query in batch:
+            output = outputs_by_name[query.name]
+            result[query.name] = self._assemble_query(query, output, view_data)
+        return result
+
+    def _assemble_query(self, query, output, view_data) -> Relation:
+        # key columns come from any referenced output view (all are
+        # lexicographically aligned over the same group-by tuple set)
+        first_ref = output.term_refs[0][0]
+        base = view_data[first_ref.view_id]
+        sorted_group_by = base.group_by
+        columns: Dict[str, np.ndarray] = {}
+        attrs: List[Attribute] = []
+        for attr_name in query.group_by:
+            pos = sorted_group_by.index(attr_name)
+            columns[attr_name] = base.key_cols[pos]
+            attrs.append(self._attribute(attr_name, base.key_cols[pos]))
+        # group-by columns reserve their names; colliding aggregate names
+        # get suffixed like duplicates
+        used_names: Dict[str, int] = {name: 0 for name in query.group_by}
+        for agg, refs in zip(query.aggregates, output.term_refs):
+            total = None
+            for ref in refs:
+                col = view_data[ref.view_id].agg_cols[ref.agg_index]
+                total = col if total is None else total + col
+            name = agg.name or "agg"
+            if name in used_names:
+                used_names[name] += 1
+                name = f"{name}_{used_names[name]}"
+            else:
+                used_names[name] = 0
+            columns[name] = np.asarray(total, dtype=np.float64)
+            attrs.append(Attribute(name, "continuous", np.float64))
+        return Relation(query.name, Schema(attrs), columns)
+
+    def _attribute(self, name: str, column: np.ndarray) -> Attribute:
+        try:
+            kind = self.database.attribute_kind(name)
+        except KeyError:
+            kind = "categorical"
+        return Attribute(name, kind, column.dtype)

@@ -1,0 +1,171 @@
+"""Interpreted execution of group plans.
+
+Walks the step IR of :mod:`repro.engine.plan` directly.  This is the
+AC/DC-style execution mode ("interpreted version of LMFAO", paper §4.1);
+the Compilation layer (``codegen.py``) runs the same steps as generated
+specialized source.  Differential tests assert both modes agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data import ops
+from ..data.relation import Relation
+from .plan import (
+    EmitStep,
+    FactorStep,
+    Gather,
+    GroupKeyStep,
+    GroupPlan,
+    GroupSumStep,
+    IndexStep,
+    JoinStep,
+    MulStep,
+    ScalarViewStep,
+)
+
+
+@dataclass
+class ViewData:
+    """The materialized result of a view.
+
+    ``key_cols`` holds one array per group-by attribute (aligned rows, in
+    lexicographic key order); ``agg_cols`` one float array per aggregate.
+    Scalar views have no key columns and length-1 aggregate arrays.
+    """
+
+    group_by: Tuple[str, ...]
+    key_cols: List[np.ndarray]
+    agg_cols: List[np.ndarray]
+
+    @property
+    def n_rows(self) -> int:
+        if self.key_cols:
+            return len(self.key_cols[0])
+        return 1
+
+    def to_relation(self, name: str, schema_lookup=None) -> Relation:
+        """Convert to a Relation (used for query outputs)."""
+        from ..data.schema import Attribute, Schema
+
+        attrs = []
+        columns = {}
+        for attr_name, col in zip(self.group_by, self.key_cols):
+            if schema_lookup is not None:
+                attrs.append(schema_lookup(attr_name))
+            else:
+                attrs.append(Attribute(attr_name, "categorical", col.dtype))
+            columns[attr_name] = col
+        for i, col in enumerate(self.agg_cols):
+            col_name = f"agg_{i}"
+            attrs.append(Attribute(col_name, "continuous", np.float64))
+            columns[col_name] = col
+        return Relation(name, Schema(attrs), columns)
+
+
+def execute_plan(
+    plan: GroupPlan,
+    relation: Relation,
+    incoming: Dict[int, ViewData],
+    dyn: Sequence,
+) -> Dict[int, ViewData]:
+    """Run one group plan; returns the produced views by id."""
+    env: Dict[str, object] = {"_n_rel": relation.n_rows}
+    produced: Dict[int, ViewData] = {}
+    for step in plan.steps:
+        if isinstance(step, Gather):
+            env[step.out] = _gather(step, relation, incoming, env)
+        elif isinstance(step, JoinStep):
+            lcodes, rcodes = ops.shared_codes(
+                [env[v] for v in step.left_vars],
+                [env[v] for v in step.right_vars],
+            )
+            li, ri = ops.join_indices(lcodes, rcodes)
+            env[step.out_left] = li
+            env[step.out_right] = ri
+        elif isinstance(step, IndexStep):
+            env[step.out] = env[step.arr][env[step.idx]]
+        elif isinstance(step, FactorStep):
+            columns = {attr: env[var] for attr, var in step.col_vars}
+            if step.dyn_slot is not None:
+                env[step.out] = dyn[step.dyn_slot].evaluate(columns)
+            else:
+                env[step.out] = step.function.evaluate(columns)
+        elif isinstance(step, MulStep):
+            env[step.out] = env[step.a] * env[step.b]
+        elif isinstance(step, GroupKeyStep):
+            codes, keys = ops.factorize_rows(
+                [env[v] for v in step.key_vars]
+            )
+            env[step.out_codes] = codes
+            env[step.out_keys] = keys
+        elif isinstance(step, GroupSumStep):
+            env[step.out] = _group_sum(step, env)
+        elif isinstance(step, ScalarViewStep):
+            env[step.out] = float(
+                incoming[step.view_id].agg_cols[step.agg_index][0]
+            )
+        elif isinstance(step, EmitStep):
+            keys = env[step.keys_var] if step.keys_var is not None else []
+            produced[step.view_id] = ViewData(
+                group_by=step.group_by,
+                key_cols=list(keys),
+                agg_cols=[
+                    np.asarray(env[v], dtype=np.float64)
+                    for v in step.agg_vars
+                ],
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown step {step!r}")
+    return produced
+
+
+def _gather(step: Gather, relation: Relation, incoming, env) -> np.ndarray:
+    kind = step.origin[0]
+    if kind == "rel":
+        column = relation.column(step.origin[1])
+    elif kind == "viewkey":
+        column = incoming[step.origin[1]].key_cols[step.origin[2]]
+    elif kind == "viewagg":
+        column = incoming[step.origin[1]].agg_cols[step.origin[2]]
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown gather origin {step.origin!r}")
+    if step.index is None:
+        return column
+    return column[env[step.index]]
+
+
+def _context_length(env: Dict[str, object], n_var: str) -> int:
+    value = env[n_var]
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    return len(value)
+
+
+def _group_sum(step: GroupSumStep, env: Dict[str, object]) -> np.ndarray:
+    if step.codes is not None:
+        keys = env[step.keys]
+        n_groups = len(keys[0]) if keys else 0
+        codes = env[step.codes]
+        if step.values is None:
+            column = np.bincount(codes, minlength=n_groups).astype(
+                np.float64
+            )
+        else:
+            column = ops.group_sums(codes, env[step.values], n_groups)
+    else:
+        if step.values is None:
+            total = float(_context_length(env, step.n_var))
+        else:
+            values = env[step.values]
+            total = float(np.sum(values)) if len(values) else 0.0
+        column = np.asarray([total], dtype=np.float64)
+    if step.coefficient != 1.0:
+        column = column * step.coefficient
+    for scalar_var in step.scalar_vars:
+        column = column * env[scalar_var]
+    return column

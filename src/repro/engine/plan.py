@@ -1,0 +1,526 @@
+"""Multi-output group plans: a step IR shared by interpreter and codegen.
+
+For each view group the :class:`GroupPlanBuilder` emits a linear list of
+*steps* (a small SSA-like IR).  The builder performs the Multi-Output
+Optimization of §3.5:
+
+* the node relation is scanned once per *join context* — aggregates that
+  reference the same incoming views share the join index computation;
+* evaluated factor columns are shared across aggregates (local variables
+  in the paper's generated code);
+* partial products are shared via prefix caching (the paper's "reuse of
+  arithmetic operations");
+* group-by key encodings are shared across all aggregates of a view and
+  across views with equal group-by.
+
+The same steps are either interpreted (``interpreter.py``) or rendered to
+specialized Python source (``codegen.py``), which guarantees the two
+execution modes agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..data.relation import Relation
+from ..query.functions import Function
+from .grouping import ViewGroup
+from .views import View
+
+# ---------------------------------------------------------------------------
+# Step IR
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Gather:
+    """out = source_column[index]  (index=None means the column itself).
+
+    ``origin`` is ``("rel", attr)``, ``("viewkey", vid, pos)`` or
+    ``("viewagg", vid, pos)``.
+    """
+
+    out: str
+    origin: tuple
+    index: Optional[str]
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """Equi-join the current context with an incoming view.
+
+    ``left_vars``/``right_vars`` are the already-gathered key columns.
+    Outputs the two index arrays ``out_left``/``out_right``.
+    """
+
+    out_left: str
+    out_right: str
+    left_vars: Tuple[str, ...]
+    right_vars: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class IndexStep:
+    """out = arr[idx] — re-aligns an index array after a join."""
+
+    out: str
+    arr: str
+    idx: str
+
+
+@dataclass(frozen=True)
+class FactorStep:
+    """Evaluate one aggregate factor function over context columns.
+
+    Static functions carry an inline NumPy expression; dynamic functions
+    are called through the plan's parameter table (slot).
+    """
+
+    out: str
+    function: Function
+    col_vars: Tuple[Tuple[str, str], ...]  # (attr, var)
+    dyn_slot: Optional[int]
+
+
+@dataclass(frozen=True)
+class MulStep:
+    """out = a * b (both row-aligned arrays)."""
+
+    out: str
+    a: str
+    b: str
+
+
+@dataclass(frozen=True)
+class GroupKeyStep:
+    """Encode composite group-by keys of a context.
+
+    Outputs ``out_codes`` (row-aligned int codes) and ``out_keys`` (list
+    of per-group key columns in lexicographic order).
+    """
+
+    out_codes: str
+    out_keys: str
+    key_vars: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class GroupSumStep:
+    """One aggregate column: grouped (or scalar) summation.
+
+    ``values`` is the product array var, or ``None`` for pure counts.
+    ``codes``/``keys`` are ``None`` for scalar (no group-by) aggregates;
+    then ``n_var`` holds the context length var for counts.
+    ``scalar_vars`` multiply the result (scalar incoming views).
+    """
+
+    out: str
+    codes: Optional[str]
+    keys: Optional[str]
+    values: Optional[str]
+    n_var: Optional[str]
+    coefficient: float
+    scalar_vars: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ScalarViewStep:
+    """out = incoming[vid].agg_cols[pos][0] — a scalar child view value."""
+
+    out: str
+    view_id: int
+    agg_index: int
+
+
+@dataclass(frozen=True)
+class EmitStep:
+    """Assemble one output view from key columns + aggregate columns."""
+
+    view_id: int
+    group_by: Tuple[str, ...]
+    keys_var: Optional[str]  # var of GroupKeyStep.out_keys, None if scalar
+    agg_vars: Tuple[str, ...]
+
+
+Step = object  # union of the dataclasses above
+
+
+@dataclass
+class GroupPlan:
+    """The executable plan of one view group."""
+
+    group: ViewGroup
+    node: str
+    steps: List[Step]
+    #: view ids this plan consumes
+    input_view_ids: Tuple[int, ...]
+    #: relation attrs this plan reads
+    relation_attrs: Tuple[str, ...]
+
+    def describe(self) -> str:
+        """Human-readable plan dump (the Figure 4 analog)."""
+        lines = [f"group {self.group.id} @ {self.node}:"]
+        for step in self.steps:
+            lines.append(f"  {step}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Builder
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Context:
+    """Symbolic join context: relation rows joined with some views."""
+
+    key: Tuple[int, ...]  # sorted view ids joined so far
+    base_idx: Optional[str]  # var of indices into the relation (None=identity)
+    view_idx: Dict[int, str]  # view id -> var of indices into its columns
+    n_var: str  # var holding the context length
+
+
+class ViewMeta:
+    """What the builder needs to know about an incoming view."""
+
+    def __init__(self, view: View):
+        self.view_id = view.id
+        self.group_by = view.group_by
+        self.n_aggregates = len(view.aggregates)
+
+    @property
+    def is_scalar(self) -> bool:
+        return not self.group_by
+
+
+class GroupPlanBuilder:
+    """Builds the step list for one view group."""
+
+    def __init__(
+        self,
+        group: ViewGroup,
+        views: Sequence[View],
+        relation_attrs: Sequence[str],
+        dyn_slots: Dict[int, int],
+    ):
+        self.group = group
+        self.views = views
+        self.node = group.node
+        self.relation_attrs = tuple(relation_attrs)
+        self.dyn_slots = dyn_slots  # id(function) -> slot
+        self.steps: List[Step] = []
+        self._var_count = 0
+        self._contexts: Dict[Tuple[int, ...], _Context] = {}
+        # caches for sharing
+        self._gather_cache: Dict[tuple, str] = {}
+        self._factor_cache: Dict[tuple, str] = {}
+        self._product_cache: Dict[tuple, str] = {}
+        self._groupkey_cache: Dict[tuple, Tuple[str, str]] = {}
+        self._scalar_cache: Dict[tuple, str] = {}
+        self._input_views: Dict[int, None] = {}
+
+    # -- var bookkeeping -----------------------------------------------------
+
+    def _new_var(self, hint: str = "v") -> str:
+        self._var_count += 1
+        return f"{hint}{self._var_count}"
+
+    # -- build ----------------------------------------------------------------
+
+    def build(self) -> GroupPlan:
+        base = _Context(key=(), base_idx=None, view_idx={}, n_var="_n_rel")
+        self._contexts[()] = base
+        for view_id in self.group.view_ids:
+            self._build_view(self.views[view_id])
+        return GroupPlan(
+            group=self.group,
+            node=self.node,
+            steps=self.steps,
+            input_view_ids=tuple(self._input_views),
+            relation_attrs=self.relation_attrs,
+        )
+
+    def _build_view(self, view: View) -> None:
+        agg_vars: List[str] = []
+        keys_var: Optional[str] = None
+        for spec in view.aggregates:
+            joinable = []
+            scalar_refs = []
+            for ref in spec.refs:
+                meta = ViewMeta(self.views[ref.view_id])
+                self._input_views.setdefault(ref.view_id, None)
+                if meta.is_scalar:
+                    scalar_refs.append(ref)
+                else:
+                    joinable.append(ref)
+            ctx = self._context_for(
+                tuple(sorted({r.view_id for r in joinable}))
+            )
+            product_var = self._build_product(ctx, spec, joinable)
+            scalar_vars = tuple(
+                self._scalar_view_var(r.view_id, r.agg_index)
+                for r in sorted(scalar_refs, key=lambda r: (r.view_id, r.agg_index))
+            )
+            if view.group_by:
+                codes_var, keys = self._group_keys(ctx, view.group_by)
+                keys_var = keys
+                out = self._new_var("agg")
+                self.steps.append(
+                    GroupSumStep(
+                        out=out,
+                        codes=codes_var,
+                        keys=keys,
+                        values=product_var,
+                        n_var=ctx.n_var,
+                        coefficient=spec.coefficient,
+                        scalar_vars=scalar_vars,
+                    )
+                )
+            else:
+                out = self._new_var("agg")
+                self.steps.append(
+                    GroupSumStep(
+                        out=out,
+                        codes=None,
+                        keys=None,
+                        values=product_var,
+                        n_var=ctx.n_var,
+                        coefficient=spec.coefficient,
+                        scalar_vars=scalar_vars,
+                    )
+                )
+            agg_vars.append(out)
+        self.steps.append(
+            EmitStep(
+                view_id=view.id,
+                group_by=view.group_by,
+                keys_var=keys_var,
+                agg_vars=tuple(agg_vars),
+            )
+        )
+
+    # -- contexts --------------------------------------------------------------
+
+    def _context_for(self, view_ids: Tuple[int, ...]) -> _Context:
+        """Get/build the context joining the relation with these views.
+
+        Contexts are built incrementally and cached on the sorted view-id
+        tuple; a group's aggregates that share incoming views share the
+        join work — the "one pass over the relation" of §3.5.
+        """
+        if view_ids in self._contexts:
+            return self._contexts[view_ids]
+        prefix = view_ids[:-1]
+        ctx = self._context_for(prefix)
+        new_ctx = self._join(ctx, view_ids[-1], view_ids)
+        self._contexts[view_ids] = new_ctx
+        return new_ctx
+
+    def _join(
+        self, ctx: _Context, view_id: int, new_key: Tuple[int, ...]
+    ) -> _Context:
+        meta = ViewMeta(self.views[view_id])
+        join_attrs = [
+            a for a in meta.group_by if self._available(ctx, a) is not None
+        ]
+        if not join_attrs:
+            raise RuntimeError(
+                f"view {view_id} shares no attributes with the context at "
+                f"node {self.node}"
+            )
+        left_vars = tuple(
+            self._gather(ctx, self._available(ctx, a)) for a in join_attrs
+        )
+        right_vars = tuple(
+            self._gather_view_key(view_id, meta.group_by.index(a))
+            for a in join_attrs
+        )
+        li = self._new_var("li")
+        ri = self._new_var("ri")
+        self.steps.append(
+            JoinStep(
+                out_left=li,
+                out_right=ri,
+                left_vars=left_vars,
+                right_vars=right_vars,
+            )
+        )
+        # realign existing index arrays
+        if ctx.base_idx is None:
+            new_base = li
+        else:
+            new_base = self._new_var("ix")
+            self.steps.append(IndexStep(out=new_base, arr=ctx.base_idx, idx=li))
+        new_view_idx = {}
+        for vid, var in ctx.view_idx.items():
+            realigned = self._new_var("ix")
+            self.steps.append(IndexStep(out=realigned, arr=var, idx=li))
+            new_view_idx[vid] = realigned
+        new_view_idx[view_id] = ri
+        return _Context(
+            key=new_key,
+            base_idx=new_base,
+            view_idx=new_view_idx,
+            n_var=li,  # length of li defines the context length
+        )
+
+    def _available(self, ctx: _Context, attr: str) -> Optional[tuple]:
+        """Where ``attr`` can be read in this context (origin tuple)."""
+        if attr in self.relation_attrs:
+            return ("rel", attr)
+        for vid in ctx.key:
+            group_by = ViewMeta(self.views[vid]).group_by
+            if attr in group_by:
+                return ("viewkey", vid, group_by.index(attr))
+        return None
+
+    # -- gathers ----------------------------------------------------------------
+
+    def _gather(self, ctx: _Context, origin: tuple) -> str:
+        """Row-aligned column of the context for the given origin."""
+        if origin[0] == "rel":
+            index = ctx.base_idx
+        else:
+            vid = origin[1]
+            index = ctx.view_idx.get(vid)
+            if index is None and vid not in ctx.key:
+                raise RuntimeError(
+                    f"origin {origin} not joined into context {ctx.key}"
+                )
+        cache_key = (ctx.key, origin)
+        if cache_key in self._gather_cache:
+            return self._gather_cache[cache_key]
+        out = self._new_var("c")
+        self.steps.append(Gather(out=out, origin=origin, index=index))
+        self._gather_cache[cache_key] = out
+        return out
+
+    def _gather_view_key(self, view_id: int, pos: int) -> str:
+        """A view's own key column (pre-join, identity index)."""
+        cache_key = (("viewkey", view_id, pos), None)
+        if cache_key in self._gather_cache:
+            return self._gather_cache[cache_key]
+        out = self._new_var("k")
+        self.steps.append(
+            Gather(out=out, origin=("viewkey", view_id, pos), index=None)
+        )
+        self._gather_cache[cache_key] = out
+        return out
+
+    def _scalar_view_var(self, view_id: int, agg_index: int) -> str:
+        cache_key = (view_id, agg_index)
+        if cache_key in self._scalar_cache:
+            return self._scalar_cache[cache_key]
+        out = self._new_var("s")
+        self.steps.append(
+            ScalarViewStep(out=out, view_id=view_id, agg_index=agg_index)
+        )
+        self._scalar_cache[cache_key] = out
+        return out
+
+    # -- products ----------------------------------------------------------------
+
+    def _build_product(self, ctx: _Context, spec, joinable_refs) -> Optional[str]:
+        """Row-aligned product of factor functions and view aggregates.
+
+        Returns ``None`` when there is nothing row-wise to multiply (a
+        pure count); the coefficient and scalar views are applied by the
+        GroupSumStep.
+        """
+        factor_vars: List[str] = []
+        for function in sorted(
+            spec.functions, key=lambda f: repr(f.signature())
+        ):
+            factor_vars.append(self._factor(ctx, function))
+        for ref in sorted(
+            joinable_refs, key=lambda r: (r.view_id, r.agg_index)
+        ):
+            origin = ("viewagg", ref.view_id, ref.agg_index)
+            factor_vars.append(self._gather(ctx, origin))
+        if not factor_vars:
+            return None
+        # prefix-cached folding: shared leading sub-products are computed
+        # once (the paper's reuse of repeated multiplications)
+        current = factor_vars[0]
+        prefix = (ctx.key, current)
+        for var in factor_vars[1:]:
+            prefix = (prefix, var)
+            if prefix in self._product_cache:
+                current = self._product_cache[prefix]
+                continue
+            out = self._new_var("p")
+            self.steps.append(MulStep(out=out, a=current, b=var))
+            self._product_cache[prefix] = out
+            current = out
+        return current
+
+    def _factor(self, ctx: _Context, function: Function) -> str:
+        slot = self.dyn_slots.get(id(function))
+        sig = (
+            ("dyn", slot)
+            if function.dynamic
+            else function.signature()
+        )
+        cache_key = (ctx.key, sig)
+        if cache_key in self._factor_cache:
+            return self._factor_cache[cache_key]
+        col_vars = tuple(
+            (attr, self._gather(ctx, self._require(ctx, attr)))
+            for attr in function.attrs
+        )
+        out = self._new_var("f")
+        self.steps.append(
+            FactorStep(
+                out=out,
+                function=function,
+                col_vars=col_vars,
+                dyn_slot=slot if function.dynamic else None,
+            )
+        )
+        self._factor_cache[cache_key] = out
+        return out
+
+    def _require(self, ctx: _Context, attr: str) -> tuple:
+        origin = self._available(ctx, attr)
+        if origin is None:
+            raise RuntimeError(
+                f"attribute {attr!r} unavailable in context {ctx.key} at "
+                f"node {self.node}; plan construction bug"
+            )
+        return origin
+
+    # -- group keys ----------------------------------------------------------------
+
+    def _group_keys(
+        self, ctx: _Context, group_by: Tuple[str, ...]
+    ) -> Tuple[str, str]:
+        cache_key = (ctx.key, group_by)
+        if cache_key in self._groupkey_cache:
+            return self._groupkey_cache[cache_key]
+        key_vars = tuple(
+            self._gather(ctx, self._require(ctx, a)) for a in group_by
+        )
+        codes = self._new_var("codes")
+        keys = self._new_var("keys")
+        self.steps.append(
+            GroupKeyStep(out_codes=codes, out_keys=keys, key_vars=key_vars)
+        )
+        self._groupkey_cache[cache_key] = (codes, keys)
+        return codes, keys
+
+
+def build_group_plan(
+    group: ViewGroup,
+    views: Sequence[View],
+    relation: Relation,
+    dyn_slots: Dict[int, int],
+) -> GroupPlan:
+    """Build the multi-output plan for one view group."""
+    builder = GroupPlanBuilder(
+        group=group,
+        views=views,
+        relation_attrs=relation.schema.names,
+        dyn_slots=dyn_slots,
+    )
+    return builder.build()

@@ -1,0 +1,77 @@
+"""The Find Roots layer (paper §3.3).
+
+LMFAO may evaluate different queries of a batch over the same join tree
+rooted at *different* nodes.  The root for each query is chosen with the
+paper's weight heuristic:
+
+* each query distributes weight over the relations that contain its
+  group-by attributes (equal weight over all relations if it has none);
+* relations are then considered in decreasing weight (ties: larger
+  relation first) and each becomes the root of all still-unassigned
+  queries that considered it a possible root.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..data.database import Database
+from ..jointree.join_tree import JoinTree
+from ..query.query import Query, QueryBatch
+
+
+def possible_roots(query: Query, tree: JoinTree) -> List[str]:
+    """Nodes that contain at least one group-by attribute of the query.
+
+    A query without group-by attributes can be rooted anywhere.
+    """
+    if not query.group_by:
+        return list(tree.nodes)
+    group_attrs = set(query.group_by)
+    nodes = [n for n in tree.nodes if group_attrs & tree.attrs_of(n)]
+    return nodes or list(tree.nodes)
+
+
+def assign_roots(
+    batch: QueryBatch,
+    tree: JoinTree,
+    database: Optional[Database] = None,
+    multi_root: bool = True,
+) -> Dict[str, str]:
+    """Choose a root node per query; returns query name -> node name.
+
+    With ``multi_root=False`` every query is rooted at the single
+    highest-weight node (the AC/DC-style evaluation used as the Figure 5
+    ablation baseline).
+    """
+    weights: Dict[str, float] = {n: 0.0 for n in tree.nodes}
+    candidates: Dict[str, List[str]] = {}
+    for query in batch:
+        nodes = possible_roots(query, tree)
+        candidates[query.name] = nodes
+        if query.group_by:
+            group_attrs = set(query.group_by)
+            for node in nodes:
+                covered = len(group_attrs & tree.attrs_of(node))
+                weights[node] += covered / len(group_attrs)
+        else:
+            for node in nodes:
+                weights[node] += 1.0 / len(tree.nodes)
+
+    def size_of(node: str) -> int:
+        if database is None:
+            return 0
+        return database.relation(node).n_rows
+
+    ranked = sorted(
+        tree.nodes, key=lambda n: (-weights[n], -size_of(n), n)
+    )
+    if not multi_root:
+        top = ranked[0]
+        return {query.name: top for query in batch}
+    assignment: Dict[str, str] = {}
+    for node in ranked:
+        for query in batch:
+            if query.name not in assignment and node in candidates[query.name]:
+                assignment[query.name] = node
+    return assignment

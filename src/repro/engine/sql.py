@@ -1,0 +1,146 @@
+"""SQL rendering of LMFAO plans.
+
+Section 1 of the paper: "Aspects of LMFAO's optimized execution for
+query batches can be cast in SQL and fed to a database system.  Such SQL
+queries capture decomposition of aggregates into components that can be
+pushed past joins and shared across aggregates."  This module performs
+that cast: every directional view becomes a ``CREATE VIEW`` statement
+over its node relation and incoming views, and every output view becomes
+a ``SELECT``.
+
+The rendered script is executable SQL in spirit (SUM/GROUP BY over
+joins); functions without a SQL form (UDFs, exponentials) are rendered
+as named function calls.  The paper observes that feeding these scripts
+to PostgreSQL/MonetDB *hurts* them (too many intermediate views, column
+limits) — rendering them still documents precisely what LMFAO computes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..query.functions import Constant, Delta, Exp, Identity, Log, Power, Udf
+from .pushdown import DecomposedBatch
+from .views import AggregateSpec, View
+
+_DELTA_SQL_OPS = {
+    "<=": "<=",
+    "<": "<",
+    ">=": ">=",
+    ">": ">",
+    "==": "=",
+    "!=": "<>",
+}
+
+
+def view_name(view: View) -> str:
+    if view.is_output:
+        return f"q_{view.id}_{view.source.lower()}"
+    return f"v_{view.id}_{view.source.lower()}_to_{view.target.lower()}"
+
+
+def function_sql(function) -> str:
+    """Render one factor function as a SQL expression."""
+    if isinstance(function, Identity):
+        return function.attr
+    if isinstance(function, Power):
+        if function.exponent == 1:
+            return function.attr
+        return f"POWER({function.attr}, {function.exponent})"
+    if isinstance(function, Delta):
+        if function.op == "in":
+            values = ", ".join(str(v) for v in function.value)
+            condition = f"{function.attr} IN ({values})"
+        else:
+            op = _DELTA_SQL_OPS[function.op]
+            condition = f"{function.attr} {op} {function.value}"
+        return f"(CASE WHEN {condition} THEN 1.0 ELSE 0.0 END)"
+    if isinstance(function, Log):
+        return f"LN({function.attr})"
+    if isinstance(function, Exp):
+        terms = " + ".join(
+            f"{theta} * {attr}"
+            for attr, theta in zip(function.attrs, function.thetas)
+        )
+        return f"EXP({terms})"
+    if isinstance(function, Udf):
+        args = ", ".join(function.attrs)
+        return f"{function.name}({args})"
+    if isinstance(function, Constant):
+        return str(function.value)
+    raise TypeError(f"no SQL form for {function!r}")  # pragma: no cover
+
+
+def aggregate_sql(
+    spec: AggregateSpec, views: Sequence[View], alias: str
+) -> str:
+    """Render one aggregate column: SUM of the factor product."""
+    factors: List[str] = []
+    if spec.coefficient != 1.0:
+        factors.append(str(spec.coefficient))
+    for function in spec.functions:
+        factors.append(function_sql(function))
+    for ref in spec.refs:
+        ref_view = views[ref.view_id]
+        factors.append(f"{view_name(ref_view)}.agg_{ref.agg_index}")
+    product = " * ".join(factors) if factors else "1"
+    return f"SUM({product}) AS {alias}"
+
+
+def view_sql(view: View, views: Sequence[View]) -> str:
+    """Render one view as CREATE VIEW (or SELECT for output views)."""
+    select_parts = list(view.group_by)
+    for i, spec in enumerate(view.aggregates):
+        select_parts.append(aggregate_sql(spec, views, f"agg_{i}"))
+    from_parts = [view.source]
+    joined = {view.source}
+    for ref_id in view.referenced_view_ids():
+        ref_view = views[ref_id]
+        if not ref_view.group_by:
+            # scalar views join without a key (cross join of one row)
+            from_parts.append(f"CROSS JOIN {view_name(ref_view)}")
+            continue
+        name = view_name(ref_view)
+        if name in joined:
+            continue
+        joined.add(name)
+        from_parts.append(f"NATURAL JOIN {name}")
+    body = (
+        f"SELECT {', '.join(select_parts)}\n"
+        f"  FROM {' '.join(from_parts)}"
+    )
+    if view.group_by:
+        body += f"\n  GROUP BY {', '.join(view.group_by)}"
+    if view.is_output:
+        return f"-- output {view_name(view)}\n{body};"
+    return f"CREATE VIEW {view_name(view)} AS\n{body};"
+
+
+def render_batch_sql(decomposed: DecomposedBatch) -> str:
+    """The full SQL script for a decomposed batch, in dependency order."""
+    views = decomposed.views
+    ordered = _topological(views)
+    statements = [view_sql(views[vid], views) for vid in ordered]
+    header = (
+        "-- LMFAO view decomposition cast to SQL\n"
+        f"-- {len(views)} views, "
+        f"{sum(len(v.aggregates) for v in views)} aggregate columns\n"
+    )
+    return header + "\n\n".join(statements) + "\n"
+
+
+def _topological(views: Sequence[View]) -> List[int]:
+    order: List[int] = []
+    seen: Dict[int, bool] = {}
+
+    def visit(vid: int) -> None:
+        if vid in seen:
+            return
+        seen[vid] = True
+        for ref in views[vid].referenced_view_ids():
+            visit(ref)
+        order.append(vid)
+
+    for view in views:
+        visit(view.id)
+    return order

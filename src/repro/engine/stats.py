@@ -1,0 +1,69 @@
+"""Plan statistics — the quantities reported in Table 2 of the paper.
+
+* **A** — application aggregates (what the application asked for);
+* **I** — additional intermediate aggregates LMFAO synthesizes;
+* **V** — number of consolidated views;
+* **G** — number of view groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..query.query import QueryBatch
+from .grouping import GroupedPlan
+from .pushdown import DecomposedBatch
+
+
+@dataclass(frozen=True)
+class PlanStatistics:
+    """The A/I/V/G statistics of one planned batch."""
+
+    n_application_aggregates: int
+    n_intermediate_aggregates: int
+    n_views: int
+    n_groups: int
+    n_queries: int
+    views_per_node: Dict[str, int]
+    roots: Dict[str, str]
+
+    @property
+    def n_total_aggregates(self) -> int:
+        return self.n_application_aggregates + self.n_intermediate_aggregates
+
+    def table2_row(self) -> str:
+        """One formatted row in the layout of the paper's Table 2."""
+        return (
+            f"A+I: {self.n_application_aggregates} + "
+            f"{self.n_intermediate_aggregates}  "
+            f"V: {self.n_views}  G: {self.n_groups}"
+        )
+
+
+def compute_statistics(
+    batch: QueryBatch,
+    decomposed: DecomposedBatch,
+    grouped: GroupedPlan,
+) -> PlanStatistics:
+    """Derive the Table 2 statistics from a planned batch.
+
+    Intermediate aggregates are all aggregate columns materialized across
+    views beyond the application aggregates themselves.  Deduplication can
+    make the total smaller than A (shared application aggregates); I is
+    then reported as 0.
+    """
+    n_app = batch.n_application_aggregates
+    n_total = decomposed.n_total_aggregates
+    views_per_node: Dict[str, int] = {}
+    for view in decomposed.views:
+        views_per_node[view.source] = views_per_node.get(view.source, 0) + 1
+    return PlanStatistics(
+        n_application_aggregates=n_app,
+        n_intermediate_aggregates=max(0, n_total - n_app),
+        n_views=decomposed.n_views,
+        n_groups=grouped.n_groups,
+        n_queries=len(batch),
+        views_per_node=views_per_node,
+        roots=dict(decomposed.roots),
+    )

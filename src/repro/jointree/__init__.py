@@ -1,0 +1,14 @@
+"""Join trees: GYO reduction, construction, hypertree decomposition."""
+
+from .gyo import ear_decomposition, is_acyclic
+from .hypertree import decompose
+from .join_tree import JoinTree, RootedView, join_tree_from_database
+
+__all__ = [
+    "JoinTree",
+    "RootedView",
+    "join_tree_from_database",
+    "ear_decomposition",
+    "is_acyclic",
+    "decompose",
+]

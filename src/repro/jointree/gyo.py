@@ -1,0 +1,72 @@
+"""GYO reduction: acyclicity test + ear ordering for join-tree construction.
+
+A join query is (alpha-)acyclic iff repeated *ear removal* empties its
+hypergraph.  An edge ``e`` is an ear if there is a witness edge ``w != e``
+such that every attribute of ``e`` shared with any other edge is contained
+in ``w``.  The (ear, witness) pairs directly give the edges of a join tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+
+def ear_decomposition(
+    hyperedges: Dict[str, Set[str]],
+) -> Optional[List[Tuple[str, Optional[str]]]]:
+    """Run GYO reduction.
+
+    Parameters
+    ----------
+    hyperedges:
+        Mapping of relation name to its attribute set.
+
+    Returns
+    -------
+    ``None`` if the hypergraph is cyclic; otherwise a list of
+    ``(ear, witness)`` pairs in removal order.  The final pair has witness
+    ``None`` (the last remaining edge).
+    """
+    remaining = {name: set(attrs) for name, attrs in hyperedges.items()}
+    order: List[Tuple[str, Optional[str]]] = []
+    while len(remaining) > 1:
+        ear = _find_ear(remaining)
+        if ear is None:
+            return None
+        name, witness = ear
+        del remaining[name]
+        order.append((name, witness))
+    if remaining:
+        last = next(iter(remaining))
+        order.append((last, None))
+    return order
+
+
+def _find_ear(
+    remaining: Dict[str, Set[str]],
+) -> Optional[Tuple[str, str]]:
+    """Find one (ear, witness) pair, preferring deterministic name order."""
+    names = sorted(remaining)
+    for name in names:
+        attrs = remaining[name]
+        shared: Set[str] = set()
+        for other in names:
+            if other != name:
+                shared |= attrs & remaining[other]
+        if not shared:
+            # isolated edge: witness is any other edge (cartesian component)
+            witness = next(o for o in names if o != name)
+            return name, witness
+        for other in names:
+            if other != name and shared <= remaining[other]:
+                return name, other
+    return None
+
+
+def is_acyclic(hyperedges: Dict[str, Set[str]]) -> bool:
+    """True iff the hypergraph admits a join tree."""
+    if not hyperedges:
+        return True
+    if len(hyperedges) == 1:
+        return True
+    return ear_decomposition(hyperedges) is not None

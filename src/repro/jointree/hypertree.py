@@ -1,0 +1,68 @@
+"""Hypertree decomposition fallback for cyclic schemas.
+
+"For cyclic queries, we first compute a hypertree decomposition and
+materialize its bags (cycles) to obtain a join tree." (paper, footnote 1).
+
+We implement a greedy decomposition: while the schema hypergraph is
+cyclic, merge the pair of relations that shares the most attributes into a
+single *bag*, materializing their join.  This always terminates (in the
+worst case with a single bag) and produces an acyclic database equivalent
+to the original, over which a join tree exists.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Tuple
+
+from ..data.database import Database
+from ..data.relation import Relation
+from .gyo import is_acyclic
+from .join_tree import JoinTree, join_tree_from_database
+
+
+def decompose(database: Database) -> Tuple[Database, JoinTree]:
+    """Return an acyclic database (bags materialized) and its join tree.
+
+    For an already-acyclic database this is the identity plus join-tree
+    construction.
+    """
+    current = database
+    while not is_acyclic(
+        {rel.name: set(rel.schema.names) for rel in current}
+    ):
+        pair = _best_merge_pair(current)
+        if pair is None:
+            raise RuntimeError(
+                "cyclic schema has no relations sharing attributes; "
+                "cannot decompose"
+            )
+        current = _merge(current, *pair)
+    return current, join_tree_from_database(current)
+
+
+def _best_merge_pair(database: Database):
+    """The relation pair sharing the most attributes (ties: smaller join)."""
+    best = None
+    best_key = None
+    for left, right in combinations(database, 2):
+        shared = len(left.schema.intersection(right.schema))
+        if shared == 0:
+            continue
+        key = (shared, -(left.n_rows + right.n_rows))
+        if best_key is None or key > best_key:
+            best_key = key
+            best = (left.name, right.name)
+    return best
+
+
+def _merge(database: Database, left_name: str, right_name: str) -> Database:
+    """Materialize the join of two relations into one bag relation."""
+    left = database.relation(left_name)
+    right = database.relation(right_name)
+    bag = left.join(right, name=f"bag_{left_name}_{right_name}")
+    relations: List[Relation] = [
+        rel for rel in database if rel.name not in (left_name, right_name)
+    ]
+    relations.append(bag)
+    return Database(relations, name=database.name)

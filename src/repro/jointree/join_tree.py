@@ -1,0 +1,169 @@
+"""Join trees over database schemas (paper §3.1).
+
+A join tree is an undirected tree whose nodes are the database relations
+and which satisfies the *running intersection property*: for every pair of
+nodes, their common attributes appear in every node on the path between
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..data.database import Database
+from .gyo import ear_decomposition
+
+
+class RootedView:
+    """A join tree rooted at a specific node (cached per root).
+
+    Provides parent/children/depth accessors and the subtree attribute
+    sets ``omega_{T_n}`` used by the Aggregate Pushdown layer.
+    """
+
+    def __init__(self, tree: "JoinTree", root: str):
+        self.tree = tree
+        self.root = root
+        self.parent: Dict[str, Optional[str]] = {root: None}
+        self.children: Dict[str, List[str]] = {n: [] for n in tree.nodes}
+        self.depth: Dict[str, int] = {root: 0}
+        order: List[str] = [root]
+        stack = [root]
+        seen = {root}
+        while stack:
+            node = stack.pop()
+            for neighbor in tree.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    self.parent[neighbor] = node
+                    self.children[node].append(neighbor)
+                    self.depth[neighbor] = self.depth[node] + 1
+                    order.append(neighbor)
+                    stack.append(neighbor)
+        if len(order) != len(tree.nodes):
+            raise ValueError(
+                f"join tree is disconnected when rooted at {root!r}"
+            )
+        #: nodes in top-down (BFS/DFS) order; reverse gives bottom-up
+        self.order: Tuple[str, ...] = tuple(order)
+        self.subtree_attrs: Dict[str, FrozenSet[str]] = {}
+        for node in reversed(order):
+            attrs = set(tree.attrs_of(node))
+            for child in self.children[node]:
+                attrs |= self.subtree_attrs[child]
+            self.subtree_attrs[node] = frozenset(attrs)
+
+    def path_to_root(self, node: str) -> List[str]:
+        path = [node]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])
+        return path
+
+
+class JoinTree:
+    """An undirected join tree over named relations."""
+
+    def __init__(
+        self,
+        node_attrs: Dict[str, Set[str]],
+        edges: Iterable[Tuple[str, str]],
+    ):
+        self._node_attrs = {n: frozenset(a) for n, a in node_attrs.items()}
+        self.nodes: Tuple[str, ...] = tuple(node_attrs)
+        self._adjacency: Dict[str, List[str]] = {n: [] for n in self.nodes}
+        self.edges: List[Tuple[str, str]] = []
+        for a, b in edges:
+            if a not in self._node_attrs or b not in self._node_attrs:
+                raise ValueError(f"edge ({a!r}, {b!r}) references unknown node")
+            self._adjacency[a].append(b)
+            self._adjacency[b].append(a)
+            self.edges.append((a, b))
+        if len(self.edges) != len(self.nodes) - 1:
+            raise ValueError(
+                f"a tree over {len(self.nodes)} nodes needs "
+                f"{len(self.nodes) - 1} edges, got {len(self.edges)}"
+            )
+        self._rooted_cache: Dict[str, RootedView] = {}
+        self.validate()
+
+    # -- structure ---------------------------------------------------------
+
+    def neighbors(self, node: str) -> List[str]:
+        return self._adjacency[node]
+
+    def attrs_of(self, node: str) -> FrozenSet[str]:
+        return self._node_attrs[node]
+
+    def join_keys(self, a: str, b: str) -> Tuple[str, ...]:
+        """Shared attributes of two adjacent nodes (the edge's join keys)."""
+        return tuple(sorted(self._node_attrs[a] & self._node_attrs[b]))
+
+    def all_attrs(self) -> FrozenSet[str]:
+        result: Set[str] = set()
+        for attrs in self._node_attrs.values():
+            result |= attrs
+        return frozenset(result)
+
+    def rooted(self, root: str) -> RootedView:
+        if root not in self._rooted_cache:
+            self._rooted_cache[root] = RootedView(self, root)
+        return self._rooted_cache[root]
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check connectivity and the running intersection property."""
+        if not self.nodes:
+            raise ValueError("empty join tree")
+        root = self.nodes[0]
+        rooted = RootedView(self, root)  # raises if disconnected
+        for i, a in enumerate(self.nodes):
+            for b in self.nodes[i + 1:]:
+                shared = self._node_attrs[a] & self._node_attrs[b]
+                if not shared:
+                    continue
+                for node in self._path(a, b, rooted):
+                    if not shared <= self._node_attrs[node]:
+                        raise ValueError(
+                            "running intersection property violated: "
+                            f"attrs {sorted(shared)} of ({a!r}, {b!r}) "
+                            f"missing from path node {node!r}"
+                        )
+
+    def _path(self, a: str, b: str, rooted: RootedView) -> List[str]:
+        ancestors_a = rooted.path_to_root(a)
+        ancestors_b = rooted.path_to_root(b)
+        set_a = set(ancestors_a)
+        lca = next(n for n in ancestors_b if n in set_a)
+        path = ancestors_a[: ancestors_a.index(lca) + 1]
+        tail = ancestors_b[: ancestors_b.index(lca)]
+        return path + list(reversed(tail))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JoinTree(nodes={list(self.nodes)}, edges={self.edges})"
+
+
+def join_tree_from_database(
+    database: Database, edges: Optional[Sequence[Tuple[str, str]]] = None
+) -> JoinTree:
+    """Construct a join tree for a database.
+
+    With explicit ``edges`` the tree is validated as given.  Otherwise GYO
+    reduction builds one (raising for cyclic schemas — see
+    ``repro.jointree.hypertree`` for the decomposition fallback).
+    """
+    node_attrs = {
+        rel.name: set(rel.schema.names) for rel in database
+    }
+    if edges is not None:
+        return JoinTree(node_attrs, edges)
+    order = ear_decomposition(node_attrs)
+    if order is None:
+        raise ValueError(
+            "database schema is cyclic; use "
+            "repro.jointree.hypertree.decompose() first"
+        )
+    tree_edges = [
+        (ear, witness) for ear, witness in order if witness is not None
+    ]
+    return JoinTree(node_attrs, tree_edges)

@@ -1,0 +1,62 @@
+"""Analytics applications over LMFAO: the paper's §2 workloads."""
+
+from .chow_liu import chow_liu_tree
+from .covar import CovarBatch, FeatureIndex, covar_batch_size
+from .datacube import ALL, DataCube, assemble_cube, build_cube_batch
+from .linreg import (
+    LinearRegressionModel,
+    design_matrix,
+    optimize_from_covar,
+    train_ridge,
+)
+from .mutual_information import (
+    build_mi_batch,
+    mutual_information_from_results,
+    pairwise_mutual_information,
+)
+from .kmeans import KMeansResult, kmeans
+from .linalg import JoinMatrixDecompositions, decompose_join_matrix
+from .polyreg import (
+    PolynomialCovarBatch,
+    PolynomialModel,
+    monomials,
+    train_polynomial,
+)
+from .trees import (
+    CARTLearner,
+    Condition,
+    DecisionTree,
+    TreeNode,
+    train_tree,
+)
+
+__all__ = [
+    "CovarBatch",
+    "FeatureIndex",
+    "covar_batch_size",
+    "LinearRegressionModel",
+    "train_ridge",
+    "optimize_from_covar",
+    "design_matrix",
+    "CARTLearner",
+    "DecisionTree",
+    "TreeNode",
+    "Condition",
+    "train_tree",
+    "build_mi_batch",
+    "mutual_information_from_results",
+    "pairwise_mutual_information",
+    "chow_liu_tree",
+    "DataCube",
+    "build_cube_batch",
+    "assemble_cube",
+    "ALL",
+    "PolynomialCovarBatch",
+    "PolynomialModel",
+    "train_polynomial",
+    "monomials",
+    "kmeans",
+    "KMeansResult",
+    "decompose_join_matrix",
+    "JoinMatrixDecompositions",
+]

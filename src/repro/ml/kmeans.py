@@ -1,0 +1,145 @@
+"""K-means clustering over joins (paper §2, "Further Applications").
+
+The paper notes that k-means decomposes into aggregate batches of the
+same form as its main workloads.  Lloyd's algorithm needs, per
+iteration and per cluster j:
+
+    n_j      = SUM( 1_{assign(x) = j} )
+    s_{j,i}  = SUM( X_i * 1_{assign(x) = j} )
+
+where ``assign`` is the nearest-centroid indicator — a *dynamic* UDF
+over the feature attributes that changes every iteration.  LMFAO
+recomputes the batch with re-bound dynamic functions, never
+materializing the join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..query.aggregates import Aggregate, Product
+from ..query.functions import Identity, Udf
+from ..query.query import Query, QueryBatch
+
+
+@dataclass
+class KMeansResult:
+    centroids: np.ndarray  # (k, n_features)
+    features: List[str]
+    iterations: int
+    inertia_history: List[float]
+
+    def assign(self, flat) -> np.ndarray:
+        """Nearest-centroid assignment over a materialized join."""
+        points = np.stack(
+            [np.asarray(flat.column(f), dtype=np.float64) for f in self.features],
+            axis=1,
+        )
+        distances = (
+            ((points[:, None, :] - self.centroids[None, :, :]) ** 2).sum(axis=2)
+        )
+        return distances.argmin(axis=1)
+
+
+def _assignment_udf(features: Sequence[str], centroids: np.ndarray, j: int):
+    """Indicator 1_{nearest centroid == j} as a dynamic UDF."""
+
+    def indicator(*columns):
+        points = np.stack(
+            [np.asarray(c, dtype=np.float64) for c in columns], axis=1
+        )
+        distances = (
+            ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        )
+        return (distances.argmin(axis=1) == j).astype(np.float64)
+
+    return Udf(features, indicator, name=f"assign_{j}", dynamic=True)
+
+
+def kmeans(
+    engine,
+    features: Sequence[str],
+    k: int,
+    *,
+    max_iterations: int = 20,
+    tolerance: float = 1e-6,
+    seed: int = 0,
+) -> KMeansResult:
+    """Lloyd's algorithm with per-iteration LMFAO aggregate batches."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    features = list(features)
+    rng = np.random.default_rng(seed)
+    centroids = _initial_centroids(engine, features, k, rng)
+    inertia_history: List[float] = []
+    for iteration in range(1, max_iterations + 1):
+        batch = _iteration_batch(features, centroids)
+        results = engine.run(batch)
+        new_centroids = centroids.copy()
+        total_inertia = 0.0
+        for j in range(k):
+            rel = results[f"kmeans:{j}"]
+            count = float(rel.column("n")[0])
+            if count > 0:
+                for fi, feature in enumerate(features):
+                    new_centroids[j, fi] = (
+                        float(rel.column(f"s:{feature}")[0]) / count
+                    )
+                total_inertia += float(rel.column("ss")[0]) - count * float(
+                    np.sum(new_centroids[j] ** 2)
+                )
+        inertia_history.append(max(0.0, total_inertia))
+        shift = float(np.abs(new_centroids - centroids).max())
+        centroids = new_centroids
+        if shift < tolerance:
+            break
+    return KMeansResult(
+        centroids=centroids,
+        features=features,
+        iterations=iteration,
+        inertia_history=inertia_history,
+    )
+
+
+def _iteration_batch(features: Sequence[str], centroids: np.ndarray) -> QueryBatch:
+    queries = []
+    for j in range(len(centroids)):
+        indicator = _assignment_udf(features, centroids.copy(), j)
+        aggregates = [Aggregate([Product([indicator])], name="n")]
+        for feature in features:
+            aggregates.append(
+                Aggregate(
+                    [Product([indicator, Identity(feature)])],
+                    name=f"s:{feature}",
+                )
+            )
+        # sum of squared norms within the cluster (for the inertia)
+        squared = [
+            Product([indicator, Identity(f), Identity(f)]) for f in features
+        ]
+        aggregates.append(Aggregate(squared, name="ss"))
+        queries.append(Query(f"kmeans:{j}", [], aggregates))
+    return QueryBatch(queries)
+
+
+def _initial_centroids(engine, features, k, rng) -> np.ndarray:
+    """Spread initial centroids over per-feature [min, max] ranges.
+
+    Ranges come from cheap per-relation column scans — no join needed.
+    """
+    lows = np.empty(len(features))
+    highs = np.empty(len(features))
+    for fi, feature in enumerate(features):
+        column = None
+        for relation in engine.database:
+            if relation.has_column(feature):
+                column = relation.column(feature)
+                break
+        if column is None:
+            raise KeyError(f"feature {feature!r} not in database")
+        lows[fi] = float(np.min(column))
+        highs[fi] = float(np.max(column))
+    return rng.uniform(lows, highs, size=(k, len(features)))

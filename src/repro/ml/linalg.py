@@ -1,0 +1,118 @@
+"""Linear algebra over joins (paper §2, "Further Applications").
+
+The paper notes LMFAO also supports "linear algebra operations such as
+QR and SVD decompositions of matrices defined by the natural join of
+database relations".  Both reduce to the covar (Gram) matrix that LMFAO
+already computes:
+
+* if ``A`` is the (implicit, never materialized) design matrix of the
+  join and ``C = A^T A`` its Gram matrix, then the Cholesky factor
+  ``C = R^T R`` is exactly the ``R`` of the thin QR decomposition
+  ``A = Q R``;
+* the eigenvalues of ``C`` are the squared singular values of ``A``, and
+  the right singular vectors are ``C``'s eigenvectors.
+
+So one aggregate batch yields the decompositions of a matrix that may be
+orders of magnitude larger than the database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .covar import CovarBatch, FeatureIndex
+
+
+@dataclass
+class JoinMatrixDecompositions:
+    """QR / SVD factors of the implicit design matrix over the join."""
+
+    #: upper-triangular R with A = Q R (thin QR)
+    r_factor: np.ndarray
+    #: singular values of the design matrix, descending
+    singular_values: np.ndarray
+    #: right singular vectors (columns), aligned with singular_values
+    right_vectors: np.ndarray
+    index: FeatureIndex
+    n_rows: float
+
+    def condition_number(self) -> float:
+        """Condition number of the design matrix (ratio of singular
+        values), a standard diagnostic for regression stability."""
+        positive = self.singular_values[self.singular_values > 0]
+        if len(positive) == 0:
+            return float("inf")
+        return float(positive[0] / positive[-1])
+
+    def rank(self, tolerance: float = 1e-10) -> int:
+        """Numerical rank of the design matrix."""
+        if len(self.singular_values) == 0:
+            return 0
+        cutoff = tolerance * self.singular_values[0]
+        return int((self.singular_values > cutoff).sum())
+
+
+def decompose_join_matrix(
+    engine,
+    continuous: Sequence[str],
+    categorical: Sequence[str] = (),
+    label: str = None,
+    ridge: float = 0.0,
+) -> JoinMatrixDecompositions:
+    """QR + SVD of the one-hot design matrix over the join.
+
+    The design matrix has columns [intercept, continuous...,
+    one-hot(categorical)...]; the label column (required by the covar
+    batch plumbing) is excluded from the decomposition.  ``ridge`` adds
+    ``ridge * I`` to the Gram matrix before factorization, useful when
+    one-hot blocks make it exactly singular.
+    """
+    if label is None:
+        if not continuous:
+            raise ValueError("need at least one continuous attribute")
+        label = continuous[0]
+        continuous = list(continuous[1:])
+    covar = CovarBatch(continuous, categorical, label)
+    results = engine.run(covar.batch)
+    matrix, index = covar.assemble(results)
+    p = index.label_position
+    # re-attach the label as an ordinary column: the design matrix is
+    # [intercept, features..., label]
+    gram = matrix[: p + 1, : p + 1].copy()
+    gram[p, :p] = matrix[index.label_position, :p]
+    gram[:p, p] = matrix[:p, index.label_position]
+    gram[p, p] = matrix[index.label_position, index.label_position]
+    if ridge:
+        gram = gram + ridge * np.eye(len(gram))
+    r_factor = _cholesky_upper(gram)
+    eigenvalues, eigenvectors = np.linalg.eigh(gram)
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = np.clip(eigenvalues[order], 0.0, None)
+    return JoinMatrixDecompositions(
+        r_factor=r_factor,
+        singular_values=np.sqrt(eigenvalues),
+        right_vectors=eigenvectors[:, order],
+        index=index,
+        n_rows=float(matrix[0, 0]),
+    )
+
+
+def _cholesky_upper(gram: np.ndarray) -> np.ndarray:
+    """Upper Cholesky factor, falling back to a jittered factorization
+    for (numerically) singular Gram matrices."""
+    jitter = 0.0
+    scale = float(np.trace(gram)) / max(1, len(gram))
+    for _ in range(12):
+        try:
+            lower = np.linalg.cholesky(
+                gram + jitter * np.eye(len(gram))
+            )
+            return lower.T
+        except np.linalg.LinAlgError:
+            jitter = max(jitter * 10.0, 1e-12 * max(scale, 1.0))
+    raise np.linalg.LinAlgError(
+        "Gram matrix not factorizable even with jitter"
+    )

@@ -1,0 +1,87 @@
+"""Pairwise mutual information over joins (paper §2, eq. (7)).
+
+The distribution of two attributes over the join is captured by count
+queries grouping by every subset of {Xi, Xj}; the mutual information is
+then
+
+    MI(Xi, Xj) = sum_{v,w} p(v,w) * log( p(v,w) / (p(v) p(w)) )
+
+which is exactly the paper's 4-ary aggregate f(alpha, beta, gamma, delta)
+over the counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..data.relation import Relation
+from ..query.aggregates import Aggregate
+from ..query.query import Query, QueryBatch
+
+
+def build_mi_batch(attrs: Sequence[str]) -> QueryBatch:
+    """Count queries for all pairs and singletons of the given attributes.
+
+    The batch has 1 + n + n(n-1)/2 queries; the application-aggregate
+    count matches the paper's n(n-1)/2 pairwise-MI formula plus the
+    shared marginals.
+    """
+    attrs = list(attrs)
+    queries: List[Query] = [
+        Query("mi:total", [], [Aggregate.count(name="n")])
+    ]
+    for attr in attrs:
+        queries.append(
+            Query(f"mi:m:{attr}", [attr], [Aggregate.count(name="n")])
+        )
+    for i, a in enumerate(attrs):
+        for b in attrs[i + 1:]:
+            queries.append(
+                Query(f"mi:j:{a}*{b}", [a, b], [Aggregate.count(name="n")])
+            )
+    return QueryBatch(queries)
+
+
+def mutual_information_from_results(
+    attrs: Sequence[str], results: Mapping[str, Relation]
+) -> Dict[Tuple[str, str], float]:
+    """Compute MI for every attribute pair from the count-query results."""
+    attrs = list(attrs)
+    total = float(results["mi:total"].column("n")[0])
+    if total <= 0:
+        raise ValueError("empty join; mutual information undefined")
+    marginals: Dict[str, Dict[float, float]] = {}
+    for attr in attrs:
+        rel = results[f"mi:m:{attr}"]
+        marginals[attr] = dict(
+            zip(rel.column(attr).tolist(), rel.column("n").tolist())
+        )
+    mi: Dict[Tuple[str, str], float] = {}
+    for i, a in enumerate(attrs):
+        for b in attrs[i + 1:]:
+            rel = results[f"mi:j:{a}*{b}"]
+            value = 0.0
+            for va, vb, n_joint in zip(
+                rel.column(a).tolist(),
+                rel.column(b).tolist(),
+                rel.column("n").tolist(),
+            ):
+                if n_joint <= 0:
+                    continue
+                p_joint = n_joint / total
+                p_a = marginals[a][va] / total
+                p_b = marginals[b][vb] / total
+                value += p_joint * np.log(p_joint / (p_a * p_b))
+            mi[(a, b)] = max(0.0, float(value))
+    return mi
+
+
+def pairwise_mutual_information(
+    engine, attrs: Sequence[str]
+) -> Dict[Tuple[str, str], float]:
+    """Run the MI batch on an engine and return all pairwise MI values."""
+    batch = build_mi_batch(attrs)
+    results = engine.run(batch)
+    return mutual_information_from_results(attrs, results)

@@ -1,0 +1,29 @@
+"""Query language: UDAF function algebra, aggregates, queries, batches."""
+
+from .aggregates import Aggregate, Product
+from .functions import (
+    Constant,
+    Delta,
+    Exp,
+    Function,
+    Identity,
+    Log,
+    Power,
+    Udf,
+)
+from .query import Query, QueryBatch
+
+__all__ = [
+    "Function",
+    "Constant",
+    "Identity",
+    "Power",
+    "Delta",
+    "Log",
+    "Exp",
+    "Udf",
+    "Product",
+    "Aggregate",
+    "Query",
+    "QueryBatch",
+]

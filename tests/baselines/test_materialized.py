@@ -1,0 +1,82 @@
+"""Materialized-join baseline: correctness and baseline semantics."""
+
+import numpy as np
+import pytest
+
+from repro import Aggregate, Delta, Product, Query, QueryBatch
+from repro.baselines import MaterializedEngine
+
+
+class TestCorrectness:
+    def test_count(self, toy_db):
+        engine = MaterializedEngine(toy_db)
+        result = engine.run(
+            QueryBatch([Query("n", [], [Aggregate.count()])])
+        )
+        assert result["n"].column("count")[0] == 300
+
+    def test_grouped_sum(self, toy_db):
+        engine = MaterializedEngine(toy_db)
+        result = engine.run(
+            QueryBatch(
+                [Query("g", ["city"], [Aggregate.of("units", name="u")])]
+            )
+        )
+        flat = engine.materialize()
+        for city, total in zip(
+            result["g"].column("city"), result["g"].column("u")
+        ):
+            mask = flat.column("city") == city
+            assert np.isclose(total, flat.column("units")[mask].sum())
+
+    def test_sum_of_products(self, toy_db):
+        engine = MaterializedEngine(toy_db)
+        aggregate = Aggregate(
+            [
+                Product(["units"], coefficient=2.0),
+                Product([Delta("price", ">", 50.0)], coefficient=1.0),
+            ],
+            name="mix",
+        )
+        result = engine.run(QueryBatch([Query("q", [], [aggregate])]))
+        flat = engine.materialize()
+        expected = 2.0 * flat.column("units").sum() + (
+            flat.column("price") > 50.0
+        ).sum()
+        assert np.isclose(result["q"].column("mix")[0], expected)
+
+    def test_duplicate_agg_names_suffixed(self, toy_db):
+        engine = MaterializedEngine(toy_db)
+        result = engine.run(
+            QueryBatch(
+                [
+                    Query(
+                        "q",
+                        [],
+                        [Aggregate.count(), Aggregate.count()],
+                    )
+                ]
+            )
+        )
+        assert result["q"].has_column("count")
+        assert result["q"].has_column("count_1")
+
+
+class TestBaselineSemantics:
+    def test_materialization_cached_and_timed(self, toy_db):
+        engine = MaterializedEngine(toy_db)
+        flat1 = engine.materialize()
+        assert engine.materialize_seconds is not None
+        flat2 = engine.materialize()
+        assert flat1 is flat2  # cached
+
+    def test_join_blowup_on_many_to_many(self, manytomany_db):
+        engine = MaterializedEngine(manytomany_db)
+        flat = engine.materialize()
+        # the materialized join is larger than the database — the cost
+        # LMFAO avoids (Yelp's Table 1 signature)
+        assert flat.n_rows > manytomany_db.total_tuples()
+
+    def test_materialize_now_flag(self, toy_db):
+        engine = MaterializedEngine(toy_db, materialize_now=True)
+        assert engine.materialize_seconds is not None

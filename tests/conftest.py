@@ -1,0 +1,115 @@
+"""Shared fixtures: toy databases and small dataset instances."""
+
+import numpy as np
+import pytest
+
+from repro.data import Database, Relation
+from repro.data.schema import Schema, categorical, continuous, key
+
+
+@pytest.fixture(scope="session")
+def toy_db():
+    """A 3-relation star: Sales(date, store, units) with Stores and Oil."""
+    rng = np.random.default_rng(0)
+    n = 300
+    sales = Relation(
+        "Sales",
+        Schema([key("date"), key("store"), continuous("units")]),
+        {
+            "date": rng.integers(0, 25, n),
+            "store": rng.integers(0, 6, n),
+            "units": np.round(rng.normal(10, 2, n), 3),
+        },
+    )
+    stores = Relation(
+        "Stores",
+        Schema([key("store"), categorical("city"), continuous("size")]),
+        {
+            "store": np.arange(6),
+            "city": rng.integers(0, 3, 6),
+            "size": np.round(rng.normal(100, 20, 6), 1),
+        },
+    )
+    oil = Relation(
+        "Oil",
+        Schema([key("date"), continuous("price")]),
+        {
+            "date": np.arange(25),
+            "price": np.round(rng.normal(50, 5, 25), 2),
+        },
+    )
+    return Database([sales, stores, oil], name="toy")
+
+
+@pytest.fixture(scope="session")
+def chain_db():
+    """A 4-relation chain R1(a,b)-R2(b,c)-R3(c,d)-R4(d,e)."""
+    rng = np.random.default_rng(1)
+    def rel(name, a1, a2, n, dom1, dom2):
+        return Relation(
+            name,
+            Schema([key(a1), key(a2)]),
+            {a1: rng.integers(0, dom1, n), a2: rng.integers(0, dom2, n)},
+        )
+    return Database(
+        [
+            rel("R1", "a", "b", 150, 8, 6),
+            rel("R2", "b", "c", 120, 6, 5),
+            rel("R3", "c", "d", 100, 5, 7),
+            rel("R4", "d", "e", 90, 7, 4),
+        ],
+        name="chain",
+    )
+
+
+@pytest.fixture(scope="session")
+def manytomany_db():
+    """Star with a many-to-many dimension (Yelp-like blow-up)."""
+    rng = np.random.default_rng(2)
+    n = 200
+    fact = Relation(
+        "Fact",
+        Schema([key("biz"), continuous("stars")]),
+        {
+            "biz": rng.integers(0, 10, n),
+            "stars": rng.integers(1, 6, n).astype(np.float64),
+        },
+    )
+    n_tags = 35
+    tags = Relation(
+        "Tags",
+        Schema([key("biz"), categorical("tag")]),
+        {
+            "biz": rng.integers(0, 10, n_tags),
+            "tag": rng.integers(0, 5, n_tags),
+        },
+    )
+    return Database([fact, tags], name="m2m")
+
+
+@pytest.fixture(scope="session")
+def tiny_favorita():
+    from repro.datasets import favorita
+
+    return favorita(scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def tiny_retailer():
+    from repro.datasets import retailer
+
+    return retailer(scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def tiny_yelp():
+    from repro.datasets import yelp
+
+    return yelp(scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def tiny_tpcds():
+    from repro.datasets import tpcds
+
+    return tpcds(scale=0.1)

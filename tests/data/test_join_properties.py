@@ -1,0 +1,88 @@
+"""Algebraic properties of the natural join (property-based)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Database, Relation, materialize_join
+from repro.data.schema import Schema, continuous, key
+
+
+@st.composite
+def three_relations(draw):
+    rng = np.random.default_rng(draw(st.integers(0, 5_000)))
+    n1 = draw(st.integers(1, 25))
+    n2 = draw(st.integers(1, 25))
+    n3 = draw(st.integers(1, 25))
+    r1 = Relation(
+        "R1",
+        Schema([key("a"), key("b")]),
+        {
+            "a": rng.integers(0, 4, n1),
+            "b": rng.integers(0, 4, n1),
+        },
+    )
+    r2 = Relation(
+        "R2",
+        Schema([key("b"), key("c")]),
+        {
+            "b": rng.integers(0, 4, n2),
+            "c": rng.integers(0, 4, n2),
+        },
+    )
+    r3 = Relation(
+        "R3",
+        Schema([key("c"), continuous("x")]),
+        {
+            "c": rng.integers(0, 4, n3),
+            "x": np.round(rng.normal(0, 1, n3), 3),
+        },
+    )
+    return r1, r2, r3
+
+
+def row_multiset(relation, columns):
+    return sorted(
+        zip(*(relation.column(c).tolist() for c in columns))
+    )
+
+
+class TestJoinAlgebra:
+    @given(three_relations())
+    @settings(max_examples=30, deadline=None)
+    def test_join_associative(self, relations):
+        r1, r2, r3 = relations
+        left_first = r1.join(r2).join(r3)
+        right_first = r1.join(r2.join(r3))
+        cols = ["a", "b", "c", "x"]
+        assert row_multiset(left_first, cols) == row_multiset(
+            right_first, cols
+        )
+
+    @given(three_relations())
+    @settings(max_examples=30, deadline=None)
+    def test_join_commutative(self, relations):
+        r1, r2, _ = relations
+        cols = ["a", "b", "c"]
+        assert row_multiset(r1.join(r2), cols) == row_multiset(
+            r2.join(r1), cols
+        )
+
+    @given(three_relations())
+    @settings(max_examples=30, deadline=None)
+    def test_materialize_order_independent(self, relations):
+        r1, r2, r3 = relations
+        db = Database([r1, r2, r3])
+        cols = ["a", "b", "c", "x"]
+        base = row_multiset(materialize_join(db), cols)
+        for order in (["R3", "R2", "R1"], ["R2", "R1", "R3"]):
+            assert row_multiset(materialize_join(db, order), cols) == base
+
+    @given(three_relations())
+    @settings(max_examples=30, deadline=None)
+    def test_semijoin_filter_sound(self, relations):
+        """Every joined row's key appears in every participant."""
+        r1, r2, _ = relations
+        joined = r1.join(r2)
+        b_values = set(r2.column("b").tolist())
+        assert all(b in b_values for b in joined.column("b").tolist())

@@ -1,0 +1,79 @@
+"""CSV round-trips for relations and databases."""
+
+import numpy as np
+import pytest
+
+from repro.data import Relation
+from repro.data.loader import (
+    load_database,
+    load_relation,
+    save_database,
+    save_relation,
+)
+from repro.data.schema import Schema, categorical, continuous, key
+
+
+@pytest.fixture
+def rel():
+    return Relation(
+        "Sample",
+        Schema([key("k"), categorical("c"), continuous("x")]),
+        {
+            "k": np.array([3, 1, 2]),
+            "c": np.array([0, 1, 0]),
+            "x": np.array([1.25, -2.5, 0.0]),
+        },
+    )
+
+
+class TestRelationRoundTrip:
+    def test_values_survive(self, rel, tmp_path):
+        path = tmp_path / "sample.csv"
+        save_relation(rel, str(path))
+        loaded = load_relation(str(path))
+        assert loaded.to_rows() == rel.to_rows()
+
+    def test_schema_survives(self, rel, tmp_path):
+        path = tmp_path / "sample.csv"
+        save_relation(rel, str(path))
+        loaded = load_relation(str(path))
+        assert loaded.schema["k"].kind == "key"
+        assert loaded.schema["c"].kind == "categorical"
+        assert loaded.schema["x"].kind == "continuous"
+        assert loaded.schema["k"].dtype == np.dtype("int64")
+
+    def test_name_from_filename(self, rel, tmp_path):
+        path = tmp_path / "renamed.csv"
+        save_relation(rel, str(path))
+        assert load_relation(str(path)).name == "renamed"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_relation(str(path))
+
+    def test_malformed_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("justaname\n1\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_relation(str(path))
+
+
+class TestDatabaseRoundTrip:
+    def test_database_round_trip(self, toy_db, tmp_path):
+        directory = tmp_path / "db"
+        save_database(toy_db, str(directory))
+        loaded = load_database(str(directory), name="toy")
+        assert set(loaded.relation_names) == set(toy_db.relation_names)
+        for name in toy_db.relation_names:
+            assert (
+                loaded.relation(name).to_rows()
+                == toy_db.relation(name).to_rows()
+            )
+
+    def test_partial_load(self, toy_db, tmp_path):
+        directory = tmp_path / "db"
+        save_database(toy_db, str(directory))
+        loaded = load_database(str(directory), relation_names=["Sales"])
+        assert loaded.relation_names == ("Sales",)

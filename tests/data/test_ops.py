@@ -1,0 +1,224 @@
+"""Kernel laws: factorization, joins and grouped sums vs brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import ops
+
+small_ints = st.lists(st.integers(0, 9), min_size=0, max_size=60)
+
+
+def brute_join_pairs(left, right):
+    return sorted(
+        (i, j)
+        for i, lv in enumerate(left)
+        for j, rv in enumerate(right)
+        if lv == rv
+    )
+
+
+class TestFactorize:
+    def test_round_trip(self):
+        col = np.array([5, 3, 5, 9, 3])
+        codes, uniques = ops.factorize(col)
+        assert (uniques[codes] == col).all()
+
+    def test_codes_follow_value_order(self):
+        codes, uniques = ops.factorize(np.array([30, 10, 20]))
+        assert uniques.tolist() == [10, 20, 30]
+        assert codes.tolist() == [2, 0, 1]
+
+    def test_empty(self):
+        codes, uniques = ops.factorize(np.array([], dtype=np.int64))
+        assert len(codes) == 0 and len(uniques) == 0
+
+    def test_floats(self):
+        codes, uniques = ops.factorize(np.array([2.5, 1.5, 2.5]))
+        assert (uniques[codes] == np.array([2.5, 1.5, 2.5])).all()
+
+
+class TestFactorizeRows:
+    def test_single_column(self):
+        codes, keys = ops.factorize_rows([np.array([4, 2, 4])])
+        assert (keys[0][codes] == np.array([4, 2, 4])).all()
+
+    def test_two_columns_decode(self):
+        a = np.array([1, 2, 1, 2])
+        b = np.array([5, 5, 5, 6])
+        codes, keys = ops.factorize_rows([a, b])
+        assert (keys[0][codes] == a).all()
+        assert (keys[1][codes] == b).all()
+
+    def test_three_columns_decode(self):
+        rng = np.random.default_rng(3)
+        cols = [rng.integers(0, 4, 80) for _ in range(3)]
+        codes, keys = ops.factorize_rows(cols)
+        for col, key_col in zip(cols, keys):
+            assert (key_col[codes] == col).all()
+
+    def test_keys_are_lexicographically_sorted(self):
+        a = np.array([2, 1, 2, 1])
+        b = np.array([9, 9, 3, 1])
+        _, keys = ops.factorize_rows([a, b])
+        tuples = list(zip(keys[0].tolist(), keys[1].tolist()))
+        assert tuples == sorted(tuples)
+
+    def test_distinct_count(self):
+        a = np.array([1, 1, 2, 2, 1])
+        b = np.array([0, 0, 0, 1, 0])
+        codes, keys = ops.factorize_rows([a, b])
+        assert len(keys[0]) == 3
+        assert codes.max() == 2
+
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            ops.factorize_rows([])
+
+    @given(small_ints, small_ints)
+    @settings(max_examples=50, deadline=None)
+    def test_property_decode(self, left, right):
+        if len(left) != len(right):
+            left = (left + [0] * len(right))[: max(len(left), len(right))]
+            right = (right + [0] * len(left))[: len(left)]
+        a, b = np.asarray(left, dtype=np.int64), np.asarray(right, dtype=np.int64)
+        if len(a) == 0:
+            return
+        codes, keys = ops.factorize_rows([a, b])
+        assert (keys[0][codes] == a).all()
+        assert (keys[1][codes] == b).all()
+
+
+class TestJoinIndices:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(4)
+        left = rng.integers(0, 6, 40)
+        right = rng.integers(0, 6, 30)
+        lc, rc = ops.shared_codes([left], [right])
+        li, ri = ops.join_indices(lc, rc)
+        got = sorted(zip(li.tolist(), ri.tolist()))
+        assert got == brute_join_pairs(left, right)
+
+    def test_many_to_many_fanout(self):
+        left = np.array([1, 1, 2])
+        right = np.array([1, 1, 1, 2])
+        lc, rc = ops.shared_codes([left], [right])
+        li, ri = ops.join_indices(lc, rc)
+        assert len(li) == 2 * 3 + 1
+
+    def test_no_matches(self):
+        lc, rc = ops.shared_codes([np.array([1, 2])], [np.array([3, 4])])
+        li, ri = ops.join_indices(lc, rc)
+        assert len(li) == 0 and len(ri) == 0
+
+    def test_empty_sides(self):
+        lc, rc = ops.shared_codes(
+            [np.array([], dtype=np.int64)], [np.array([1, 2])]
+        )
+        li, ri = ops.join_indices(lc, rc)
+        assert len(li) == 0
+
+    def test_composite_keys(self):
+        rng = np.random.default_rng(5)
+        la, lb = rng.integers(0, 4, 30), rng.integers(0, 3, 30)
+        ra, rb = rng.integers(0, 4, 25), rng.integers(0, 3, 25)
+        lc, rc = ops.shared_codes([la, lb], [ra, rb])
+        li, ri = ops.join_indices(lc, rc)
+        expected = sum(
+            int(((ra == a) & (rb == b)).sum()) for a, b in zip(la, lb)
+        )
+        assert len(li) == expected
+        assert (la[li] == ra[ri]).all() and (lb[li] == rb[ri]).all()
+
+    @given(small_ints, small_ints)
+    @settings(max_examples=50, deadline=None)
+    def test_property_join(self, left, right):
+        la = np.asarray(left, dtype=np.int64)
+        ra = np.asarray(right, dtype=np.int64)
+        lc, rc = ops.shared_codes([la], [ra])
+        li, ri = ops.join_indices(lc, rc)
+        assert sorted(zip(li.tolist(), ri.tolist())) == brute_join_pairs(
+            la, ra
+        )
+
+
+class TestGroupAggregate:
+    def test_sums_match_brute_force(self):
+        rng = np.random.default_rng(6)
+        keys = rng.integers(0, 5, 100)
+        values = rng.normal(0, 1, 100)
+        out_keys, sums = ops.group_aggregate([keys], [values])
+        for k, s in zip(out_keys[0], sums[0]):
+            assert np.isclose(s, values[keys == k].sum())
+
+    def test_scalar_aggregate(self):
+        values = np.array([1.0, 2.0, 3.5])
+        keys, sums = ops.group_aggregate([], [values])
+        assert keys == []
+        assert sums[0].tolist() == [6.5]
+
+    def test_scalar_empty(self):
+        keys, sums = ops.group_aggregate([], [np.array([])])
+        assert sums[0].tolist() == [0.0]
+
+    def test_composite_group_by(self):
+        a = np.array([1, 1, 2, 2, 1])
+        b = np.array([0, 1, 0, 0, 0])
+        v = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        keys, sums = ops.group_aggregate([a, b], [v])
+        table = {
+            (ka, kb): s
+            for ka, kb, s in zip(keys[0], keys[1], sums[0])
+        }
+        assert table[(1, 0)] == 6.0
+        assert table[(1, 1)] == 2.0
+        assert table[(2, 0)] == 7.0
+
+    def test_multiple_value_columns(self):
+        keys = np.array([0, 0, 1])
+        v1 = np.array([1.0, 2.0, 3.0])
+        v2 = np.array([10.0, 20.0, 30.0])
+        _, sums = ops.group_aggregate([keys], [v1, v2])
+        assert sums[0].tolist() == [3.0, 3.0]
+        assert sums[1].tolist() == [30.0, 30.0]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.floats(-5, 5)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_group_sums(self, rows):
+        keys = np.asarray([k for k, _ in rows], dtype=np.int64)
+        values = np.asarray([v for _, v in rows])
+        out_keys, sums = ops.group_aggregate([keys], [values])
+        total = {}
+        for k, v in rows:
+            total[k] = total.get(k, 0.0) + v
+        got = dict(zip(out_keys[0].tolist(), sums[0].tolist()))
+        assert set(got) == set(total)
+        for k in total:
+            assert np.isclose(got[k], total[k], atol=1e-9)
+
+
+class TestSemijoinAndSort:
+    def test_semijoin_mask(self):
+        mask = ops.semijoin_mask(np.array([1, 2, 3]), np.array([2, 4]))
+        assert mask.tolist() == [False, True, False]
+
+    def test_lexsort_rows(self):
+        a = np.array([2, 1, 2])
+        b = np.array([0, 5, -1])
+        order = ops.lexsort_rows([a, b])
+        assert a[order].tolist() == [1, 2, 2]
+        assert b[order].tolist() == [5, -1, 0]
+
+    def test_lexsort_requires_columns(self):
+        with pytest.raises(ValueError):
+            ops.lexsort_rows([])
+
+    def test_distinct_count(self):
+        assert ops.distinct_count(np.array([1, 1, 2, 3, 3])) == 3

@@ -1,0 +1,83 @@
+"""Schema and attribute metadata."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import (
+    Attribute,
+    Schema,
+    categorical,
+    continuous,
+    key,
+)
+
+
+class TestAttribute:
+    def test_kinds(self):
+        assert key("k").is_categorical
+        assert categorical("c").is_categorical
+        assert continuous("x").is_continuous
+        assert not continuous("x").is_categorical
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute("x", "nonsense")
+
+    def test_dtype_normalized(self):
+        attr = Attribute("x", "continuous", "float32")
+        assert attr.dtype == np.dtype("float32")
+
+    def test_defaults(self):
+        attr = Attribute("x")
+        assert attr.kind == "continuous"
+        assert attr.dtype == np.dtype("float64")
+
+    def test_equality_and_hash(self):
+        assert key("a") == key("a")
+        assert hash(key("a")) == hash(key("a"))
+        assert key("a") != categorical("a")
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([key("a"), continuous("a")])
+
+    def test_names_order_preserved(self):
+        schema = Schema([key("b"), key("a")])
+        assert schema.names == ("b", "a")
+
+    def test_contains_and_getitem(self):
+        schema = Schema([key("a"), continuous("x")])
+        assert "a" in schema and "z" not in schema
+        assert schema["x"].is_continuous
+        with pytest.raises(KeyError):
+            schema["z"]
+
+    def test_get_returns_none_for_missing(self):
+        schema = Schema([key("a")])
+        assert schema.get("z") is None
+
+    def test_intersection_in_left_order(self):
+        left = Schema([key("a"), key("b"), key("c")])
+        right = Schema([key("c"), key("a")])
+        assert left.intersection(right) == ("a", "c")
+
+    def test_project(self):
+        schema = Schema([key("a"), continuous("x"), categorical("c")])
+        sub = schema.project(["c", "a"])
+        assert sub.names == ("c", "a")
+
+    def test_union_dedups(self):
+        left = Schema([key("a"), continuous("x")])
+        right = Schema([continuous("x"), key("b")])
+        assert left.union(right).names == ("a", "x", "b")
+
+    def test_equality(self):
+        assert Schema([key("a")]) == Schema([key("a")])
+        assert Schema([key("a")]) != Schema([key("b")])
+
+    def test_len_and_iter(self):
+        schema = Schema([key("a"), key("b")])
+        assert len(schema) == 2
+        assert [a.name for a in schema] == ["a", "b"]

@@ -1,0 +1,56 @@
+"""Dataset base helpers: scaling, fact-table detection, summaries."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import favorita
+from repro.datasets.base import Dataset, scaled, zipf_choice
+
+
+class TestScaled:
+    def test_rounds(self):
+        assert scaled(100, 0.5) == 50
+        assert scaled(101, 0.5) == 50 or scaled(101, 0.5) == 51
+
+    def test_minimum_enforced(self):
+        assert scaled(100, 0.0001, minimum=8) == 8
+
+    def test_identity_at_scale_one(self):
+        assert scaled(1234, 1.0) == 1234
+
+
+class TestZipf:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        draws = zipf_choice(rng, 50, 1000)
+        assert draws.min() >= 0 and draws.max() < 50
+
+    def test_rank_one_most_popular(self):
+        rng = np.random.default_rng(0)
+        draws = zipf_choice(rng, 20, 20_000)
+        counts = np.bincount(draws, minlength=20)
+        assert counts[0] == counts.max()
+
+    def test_exponent_controls_skew(self):
+        rng = np.random.default_rng(0)
+        mild = zipf_choice(rng, 20, 20_000, exponent=0.5)
+        harsh = zipf_choice(rng, 20, 20_000, exponent=2.0)
+        mild_top = np.bincount(mild, minlength=20)[0] / len(mild)
+        harsh_top = np.bincount(harsh, minlength=20)[0] / len(harsh)
+        assert harsh_top > mild_top
+
+
+class TestDatasetApi:
+    def test_features_concatenates(self):
+        ds = favorita(scale=0.05)
+        assert ds.features == ds.continuous_features + ds.categorical_features
+
+    def test_fact_table_is_largest(self):
+        ds = favorita(scale=0.05)
+        fact = ds.fact_table()
+        largest = max(ds.database, key=lambda r: r.n_rows)
+        assert fact == largest.name
+
+    def test_summary_size_positive(self):
+        ds = favorita(scale=0.05)
+        assert ds.summary()["size_mb"] > 0

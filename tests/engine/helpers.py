@@ -1,0 +1,53 @@
+"""Shared helpers for engine tests: result comparison utilities."""
+
+import numpy as np
+
+
+def relation_to_table(relation, group_by, agg_names):
+    """Normalize a result relation to {group tuple: (agg values...)}."""
+    if group_by:
+        keys = list(zip(*(relation.column(g).tolist() for g in group_by)))
+    else:
+        keys = [()] * relation.n_rows
+    values = list(
+        zip(*(relation.column(a).tolist() for a in agg_names))
+    )
+    return dict(zip(keys, values))
+
+
+def assert_results_equal(got, expected, batch, rtol=1e-9, atol=1e-9):
+    """Compare two engines' results for an entire batch."""
+    for query in batch:
+        agg_names = _agg_names(query)
+        table_got = relation_to_table(
+            got[query.name], query.group_by, agg_names
+        )
+        table_expected = relation_to_table(
+            expected[query.name], query.group_by, agg_names
+        )
+        assert set(table_got) == set(table_expected), (
+            f"{query.name}: group keys differ "
+            f"({len(table_got)} vs {len(table_expected)})"
+        )
+        for group_key, expected_values in table_expected.items():
+            got_values = table_got[group_key]
+            assert np.allclose(
+                got_values, expected_values, rtol=rtol, atol=atol
+            ), (
+                f"{query.name}{group_key}: {got_values} != "
+                f"{expected_values}"
+            )
+
+
+def _agg_names(query):
+    names = []
+    used = {}
+    for aggregate in query.aggregates:
+        name = aggregate.name or "agg"
+        if name in used:
+            used[name] += 1
+            name = f"{name}_{used[name]}"
+        else:
+            used[name] = 0
+        names.append(name)
+    return names

@@ -1,0 +1,55 @@
+"""Join-attribute orders and input sorting (paper §3.5)."""
+
+import numpy as np
+
+from repro.engine.attribute_order import (
+    attribute_order,
+    join_attributes,
+    sort_database,
+)
+from repro.jointree.join_tree import join_tree_from_database
+
+
+class TestJoinAttributes:
+    def test_fact_table_join_attrs(self, toy_db):
+        tree = join_tree_from_database(toy_db)
+        assert set(join_attributes(tree, "Sales")) == {"date", "store"}
+
+    def test_leaf_join_attrs(self, toy_db):
+        tree = join_tree_from_database(toy_db)
+        assert join_attributes(tree, "Oil") == ("date",)
+
+    def test_non_join_attrs_excluded(self, toy_db):
+        tree = join_tree_from_database(toy_db)
+        assert "units" not in join_attributes(tree, "Sales")
+
+
+class TestAttributeOrder:
+    def test_ascending_domain_size(self, toy_db):
+        tree = join_tree_from_database(toy_db)
+        order = attribute_order(toy_db, tree, "Sales")
+        sizes = [toy_db.domain_size("Sales", a) for a in order]
+        assert sizes == sorted(sizes)
+
+    def test_store_before_date(self, toy_db):
+        # 6 stores < 25 dates
+        tree = join_tree_from_database(toy_db)
+        assert attribute_order(toy_db, tree, "Sales") == ("store", "date")
+
+
+class TestSortDatabase:
+    def test_relations_sorted_by_order(self, toy_db):
+        tree = join_tree_from_database(toy_db)
+        sorted_db = sort_database(toy_db, tree)
+        sales = sorted_db.relation("Sales")
+        order = attribute_order(toy_db, tree, "Sales")
+        keys = list(zip(*(sales.column(a).tolist() for a in order)))
+        assert keys == sorted(keys)
+
+    def test_row_multiset_preserved(self, toy_db):
+        tree = join_tree_from_database(toy_db)
+        sorted_db = sort_database(toy_db, tree)
+        for name in toy_db.relation_names:
+            before = sorted(toy_db.relation(name).to_rows())
+            after = sorted(sorted_db.relation(name).to_rows())
+            assert before == after

@@ -1,0 +1,269 @@
+"""Edge cases and failure injection for the engine."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    LMFAO,
+    Aggregate,
+    Database,
+    Delta,
+    Product,
+    Query,
+    QueryBatch,
+    Relation,
+)
+from repro.baselines import MaterializedEngine
+from repro.data.schema import Schema, categorical, continuous, key
+
+from .helpers import assert_results_equal
+
+
+def single_relation_db():
+    rng = np.random.default_rng(9)
+    rel = Relation(
+        "Only",
+        Schema([key("k"), categorical("c"), continuous("x")]),
+        {
+            "k": np.arange(50),
+            "c": rng.integers(0, 3, 50),
+            "x": rng.normal(0, 1, 50),
+        },
+    )
+    return Database([rel])
+
+
+class TestDegenerateShapes:
+    def test_single_relation_database(self):
+        db = single_relation_db()
+        batch = QueryBatch(
+            [
+                Query("n", [], [Aggregate.count()]),
+                Query("g", ["c"], [Aggregate.of("x", name="sx")]),
+            ]
+        )
+        got = LMFAO(db).run(batch)
+        expected = MaterializedEngine(db).run(batch)
+        assert_results_equal(got, expected, batch)
+
+    def test_single_row_relations(self):
+        left = Relation(
+            "L",
+            Schema([key("k"), continuous("x")]),
+            {"k": np.array([1]), "x": np.array([2.0])},
+        )
+        right = Relation(
+            "R",
+            Schema([key("k"), continuous("y")]),
+            {"k": np.array([1]), "y": np.array([3.0])},
+        )
+        db = Database([left, right])
+        result = LMFAO(db).run(
+            QueryBatch([Query("p", [], [Aggregate.of("x", "y", name="xy")])])
+        )
+        assert result["p"].column("xy")[0] == 6.0
+
+    def test_all_rows_same_key(self):
+        n = 40
+        left = Relation(
+            "L",
+            Schema([key("k"), continuous("x")]),
+            {"k": np.zeros(n, dtype=np.int64), "x": np.ones(n)},
+        )
+        right = Relation(
+            "R",
+            Schema([key("k")]),
+            {"k": np.zeros(n, dtype=np.int64)},
+        )
+        db = Database([left, right])
+        result = LMFAO(db).run(
+            QueryBatch([Query("n", [], [Aggregate.count()])])
+        )
+        assert result["n"].column("count")[0] == n * n  # full fan-out
+
+    def test_empty_join_result(self):
+        left = Relation(
+            "L",
+            Schema([key("k")]),
+            {"k": np.array([1, 2])},
+        )
+        right = Relation(
+            "R",
+            Schema([key("k")]),
+            {"k": np.array([3, 4])},
+        )
+        db = Database([left, right])
+        batch = QueryBatch(
+            [
+                Query("n", [], [Aggregate.count()]),
+                Query("g", ["k"], [Aggregate.count(name="n")]),
+            ]
+        )
+        result = LMFAO(db).run(batch)
+        assert result["n"].column("count")[0] == 0.0
+        assert result["g"].n_rows == 0
+
+    def test_deep_chain(self):
+        rng = np.random.default_rng(5)
+        relations = []
+        # keep the chain's fan-out moderate: 30 rows over domain 10 grows
+        # the join to ~tens of thousands of rows, not millions
+        for i in range(6):
+            relations.append(
+                Relation(
+                    f"C{i}",
+                    Schema([key(f"a{i}"), key(f"a{i+1}")]),
+                    {
+                        f"a{i}": rng.integers(0, 10, 30),
+                        f"a{i+1}": rng.integers(0, 10, 30),
+                    },
+                )
+            )
+        db = Database(relations)
+        batch = QueryBatch(
+            [
+                Query("ends", ["a0", "a6"], [Aggregate.count(name="n")]),
+                Query("mid", ["a3"], [Aggregate.count(name="n")]),
+            ]
+        )
+        got = LMFAO(db).run(batch)
+        expected = MaterializedEngine(db).run(batch)
+        assert_results_equal(got, expected, batch)
+
+
+class TestAggregateEdgeCases:
+    def test_zero_coefficient_term(self, toy_db):
+        agg = Aggregate([Product(["units"], coefficient=0.0)], name="z")
+        result = LMFAO(toy_db).run(QueryBatch([Query("q", [], [agg])]))
+        assert result["q"].column("z")[0] == 0.0
+
+    def test_negative_coefficients(self, toy_db):
+        agg = Aggregate(
+            [
+                Product(["units"], coefficient=1.0),
+                Product(["units"], coefficient=-1.0),
+            ],
+            name="cancel",
+        )
+        result = LMFAO(toy_db).run(QueryBatch([Query("q", [], [agg])]))
+        assert np.isclose(result["q"].column("cancel")[0], 0.0, atol=1e-9)
+
+    def test_repeated_identical_aggregates(self, toy_db):
+        batch = QueryBatch(
+            [
+                Query(
+                    "q",
+                    ["city"],
+                    [Aggregate.of("units", name="u") for _ in range(4)],
+                )
+            ]
+        )
+        result = LMFAO(toy_db).run(batch)
+        base = result["q"].column("u")
+        for suffix in ("u_1", "u_2", "u_3"):
+            assert np.allclose(result["q"].column(suffix), base)
+
+    def test_delta_never_true(self, toy_db):
+        agg = Aggregate.of(Delta("units", ">", 1e12), name="none")
+        result = LMFAO(toy_db).run(QueryBatch([Query("q", [], [agg])]))
+        assert result["q"].column("none")[0] == 0.0
+
+    def test_high_power(self, toy_db):
+        from repro.query.functions import Power
+
+        agg = Aggregate.of(Power("price", 5), name="p5")
+        got = LMFAO(toy_db).run(QueryBatch([Query("q", [], [agg])]))
+        flat = MaterializedEngine(toy_db).materialize()
+        expected = (flat.column("price") ** 5).sum()
+        assert np.isclose(got["q"].column("p5")[0], expected, rtol=1e-12)
+
+    def test_large_batch_of_queries(self, toy_db):
+        batch = QueryBatch(
+            [
+                Query(f"q{i}", ["city"], [Aggregate.of("units", name="u")])
+                for i in range(100)
+            ]
+            + [Query("n", [], [Aggregate.count()])]
+        )
+        engine = LMFAO(toy_db)
+        result = engine.run(batch)
+        assert len(result) == 101
+        # merging collapses the 100 identical queries to one output column
+        stats = engine.plan(batch).statistics
+        assert stats.n_views < 10
+
+
+class TestGroupByEdgeCases:
+    def test_group_by_join_key(self, toy_db):
+        batch = QueryBatch(
+            [Query("g", ["store"], [Aggregate.of("units", name="u")])]
+        )
+        got = LMFAO(toy_db).run(batch)
+        expected = MaterializedEngine(toy_db).run(batch)
+        assert_results_equal(got, expected, batch)
+
+    def test_group_by_all_attrs_of_a_dimension(self, toy_db):
+        batch = QueryBatch(
+            [
+                Query(
+                    "g",
+                    ["store", "city", "size"],
+                    [Aggregate.count(name="n")],
+                )
+            ]
+        )
+        got = LMFAO(toy_db).run(batch)
+        expected = MaterializedEngine(toy_db).run(batch)
+        assert_results_equal(got, expected, batch)
+
+    def test_group_by_attrs_from_three_relations(self, toy_db):
+        batch = QueryBatch(
+            [
+                Query(
+                    "g",
+                    ["city", "date", "price"],
+                    [Aggregate.of("units", name="u")],
+                )
+            ]
+        )
+        got = LMFAO(toy_db).run(batch)
+        expected = MaterializedEngine(toy_db).run(batch)
+        assert_results_equal(got, expected, batch)
+
+
+class TestNumericalRobustness:
+    def test_large_values_no_overflow(self):
+        left = Relation(
+            "L",
+            Schema([key("k"), continuous("x")]),
+            {"k": np.arange(100), "x": np.full(100, 1e12)},
+        )
+        right = Relation(
+            "R",
+            Schema([key("k")]),
+            {"k": np.arange(100)},
+        )
+        db = Database([left, right])
+        result = LMFAO(db).run(
+            QueryBatch([Query("s", [], [Aggregate.of("x", "x", name="xx")])])
+        )
+        assert np.isclose(result["s"].column("xx")[0], 100 * 1e24)
+
+    def test_many_distinct_keys(self):
+        n = 5_000
+        left = Relation(
+            "L",
+            Schema([key("k"), continuous("x")]),
+            {"k": np.arange(n), "x": np.ones(n)},
+        )
+        right = Relation(
+            "R",
+            Schema([key("k")]),
+            {"k": np.arange(n)},
+        )
+        db = Database([left, right])
+        result = LMFAO(db).run(
+            QueryBatch([Query("g", ["k"], [Aggregate.count(name="n")])])
+        )
+        assert result["g"].n_rows == n
+        assert (result["g"].column("n") == 1.0).all()

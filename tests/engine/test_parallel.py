@@ -1,0 +1,84 @@
+"""Parallelization: partition merging and threaded execution."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import LMFAO, Aggregate, Query, QueryBatch
+from repro.baselines import MaterializedEngine
+from repro.engine.interpreter import ViewData
+from repro.engine.parallel import merge_partials
+
+from .helpers import assert_results_equal
+
+
+class TestMergePartials:
+    def test_scalar_views_add(self):
+        part1 = {0: ViewData((), [], [np.array([2.0]), np.array([5.0])])}
+        part2 = {0: ViewData((), [], [np.array([3.0]), np.array([-1.0])])}
+        merged = merge_partials([part1, part2])
+        assert merged[0].agg_cols[0].tolist() == [5.0]
+        assert merged[0].agg_cols[1].tolist() == [4.0]
+
+    def test_grouped_views_reaggregate(self):
+        part1 = {
+            1: ViewData(
+                ("g",), [np.array([0, 1])], [np.array([1.0, 2.0])]
+            )
+        }
+        part2 = {
+            1: ViewData(
+                ("g",), [np.array([1, 2])], [np.array([10.0, 20.0])]
+            )
+        }
+        merged = merge_partials([part1, part2])
+        table = dict(
+            zip(merged[1].key_cols[0].tolist(), merged[1].agg_cols[0].tolist())
+        )
+        assert table == {0: 1.0, 1: 12.0, 2: 20.0}
+
+    def test_view_missing_from_one_partition(self):
+        part1 = {0: ViewData((), [], [np.array([1.0])])}
+        part2 = {}
+        merged = merge_partials([part1, part2])
+        assert merged[0].agg_cols[0].tolist() == [1.0]
+
+    def test_merged_keys_sorted(self):
+        part1 = {1: ViewData(("g",), [np.array([5, 1])], [np.array([1.0, 1.0])])}
+        part2 = {1: ViewData(("g",), [np.array([3])], [np.array([1.0])])}
+        merged = merge_partials([part1, part2])
+        assert merged[1].key_cols[0].tolist() == [1, 3, 5]
+
+
+class TestThreadedEngine:
+    @pytest.mark.parametrize("n_threads", [2, 4])
+    def test_agrees_with_serial(self, toy_db, n_threads):
+        batch = QueryBatch(
+            [
+                Query("n", [], [Aggregate.count()]),
+                Query("g", ["city"], [Aggregate.of("units", name="u")]),
+                Query("h", ["date"], [Aggregate.of("price", name="p")]),
+            ]
+        )
+        serial = LMFAO(toy_db, n_threads=1).run(batch)
+        threaded = LMFAO(
+            toy_db, n_threads=n_threads, partition_threshold=10
+        ).run(batch)
+        assert_results_equal(threaded, serial, batch)
+
+    def test_partitioned_on_datasets(self, tiny_favorita):
+        ds = tiny_favorita
+        batch = QueryBatch(
+            [
+                Query("n", [], [Aggregate.count()]),
+                Query(
+                    "g", ["family"], [Aggregate.of("units", name="u")]
+                ),
+            ]
+        )
+        threaded = LMFAO(
+            ds.database, ds.join_tree, n_threads=4, partition_threshold=100
+        ).run(batch)
+        expected = MaterializedEngine(ds.database).run(batch)
+        assert_results_equal(threaded, expected, batch, rtol=1e-8)

@@ -1,0 +1,148 @@
+"""Aggregate Pushdown + Merge Views: view structure of decomposed batches."""
+
+import pytest
+
+from repro import Aggregate, Delta, Query, QueryBatch, Udf
+from repro.engine.pushdown import Decomposer
+from repro.engine.roots import assign_roots
+from repro.jointree.join_tree import join_tree_from_database
+
+
+def decompose(db, batch, merge_mode="full", multi_root=True):
+    tree = join_tree_from_database(db)
+    roots = assign_roots(batch, tree, db, multi_root=multi_root)
+    return Decomposer(tree, merge_mode=merge_mode).decompose(batch, roots)
+
+
+class TestViewStructure:
+    def test_one_view_per_edge_and_output(self, toy_db):
+        batch = QueryBatch([Query("count", [], [Aggregate.count()])])
+        decomposed = decompose(toy_db, batch)
+        # 2 edges + 1 output view
+        assert decomposed.n_views == 3
+        outputs = [v for v in decomposed.views if v.is_output]
+        assert len(outputs) == 1
+        assert outputs[0].group_by == ()
+
+    def test_directional_views_point_to_root(self, toy_db):
+        batch = QueryBatch(
+            [Query("q", ["city"], [Aggregate.count()])]
+        )
+        decomposed = decompose(toy_db, batch)
+        root = decomposed.roots["q"]
+        assert root == "Stores"
+        for view in decomposed.views:
+            if not view.is_output:
+                # flows along an edge towards the root
+                assert view.target is not None
+
+    def test_count_views_shared_across_queries(self, toy_db):
+        batch = QueryBatch(
+            [
+                Query("a", [], [Aggregate.of("units", name="u")]),
+                Query("b", [], [Aggregate.of(("units"), "units", name="uu")]),
+            ]
+        )
+        decomposed = decompose(toy_db, batch)
+        # both queries need plain count views from Stores and Oil; merging
+        # must share them: expect 2 edge views + 1 merged output view
+        assert decomposed.n_views == 3
+
+    def test_merge_full_vs_none_view_counts(self, toy_db):
+        aggs = [
+            Aggregate.of("units", name=f"u{i}") for i in range(5)
+        ]
+        batch = QueryBatch([Query("q", [], aggs)])
+        full = decompose(toy_db, batch, merge_mode="full")
+        dedup = decompose(toy_db, batch, merge_mode="dedup")
+        none = decompose(toy_db, batch, merge_mode="none")
+        assert full.n_views <= dedup.n_views <= none.n_views
+        # "none" materializes one view per (term, edge) plus outputs:
+        # 5 aggregates x 2 edges + 5 outputs
+        assert none.n_views == 15
+
+    def test_identical_aggregates_deduplicated(self, toy_db):
+        batch = QueryBatch(
+            [
+                Query("a", [], [Aggregate.of("units", name="u")]),
+                Query("b", [], [Aggregate.of("units", name="u2")]),
+            ]
+        )
+        decomposed = decompose(toy_db, batch, merge_mode="full")
+        outputs = [v for v in decomposed.views if v.is_output]
+        # same root, same group-by, same aggregate: one output column
+        assert len(outputs) == 1
+        assert len(outputs[0].aggregates) == 1
+
+    def test_carried_attribute_becomes_group_by(self, toy_db):
+        # group by a Stores attribute while rooting at Sales: the "city"
+        # values must be carried by the Stores->Sales view
+        tree = join_tree_from_database(toy_db)
+        batch = QueryBatch([Query("q", ["city"], [Aggregate.of("units")])])
+        decomposed = Decomposer(tree).decompose(batch, {"q": "Sales"})
+        store_views = [
+            v
+            for v in decomposed.views
+            if v.source == "Stores" and v.target == "Sales"
+        ]
+        assert any("city" in v.group_by for v in store_views)
+
+    def test_spanning_function_carries_attrs(self, toy_db):
+        f = Udf(["units", "price"], lambda u, p: u + p, name="sum2")
+        batch = QueryBatch([Query("q", [], [Aggregate.of(f, name="v")])])
+        decomposed = decompose(toy_db, batch)
+        # price lives in Oil; the function must be evaluated where both
+        # attrs are visible, so some view carries price upward
+        carrying = [
+            v
+            for v in decomposed.views
+            if not v.is_output and "price" in v.group_by
+        ]
+        assert carrying
+
+    def test_dynamic_functions_not_merged_across_slots(self, toy_db):
+        d1 = Delta("price", "<=", 50.0, dynamic=True)
+        d2 = Delta("price", "<=", 50.0, dynamic=True)
+        batch = QueryBatch(
+            [
+                Query("a", [], [Aggregate.of(d1, name="v")]),
+                Query("b", [], [Aggregate.of(d2, name="v")]),
+            ]
+        )
+        dyn_slots = {id(f): i for i, f in enumerate(batch.dynamic_functions())}
+        tree = join_tree_from_database(toy_db)
+        roots = assign_roots(batch, tree, toy_db)
+        decomposed = Decomposer(tree, dyn_slots=dyn_slots).decompose(
+            batch, roots
+        )
+        outputs = [v for v in decomposed.views if v.is_output]
+        total_output_aggs = sum(len(v.aggregates) for v in outputs)
+        assert total_output_aggs == 2  # NOT deduplicated
+
+    def test_unknown_attr_rejected(self, toy_db):
+        batch = QueryBatch([Query("q", ["ghost"], [Aggregate.count()])])
+        with pytest.raises(ValueError, match="unknown attribute"):
+            decompose(toy_db, batch)
+
+    def test_invalid_merge_mode_rejected(self, toy_db):
+        tree = join_tree_from_database(toy_db)
+        with pytest.raises(ValueError, match="merge_mode"):
+            Decomposer(tree, merge_mode="bogus")
+
+
+class TestConsolidationScale:
+    def test_covar_style_consolidation(self, tiny_favorita):
+        """Many aggregates consolidate into few views (the paper's
+        814 x 4 = 3256 -> 34 example, at our scale)."""
+        from repro.ml import CovarBatch
+
+        ds = tiny_favorita
+        batch = CovarBatch(
+            ["txns", "price"], ["stype", "family"], "units"
+        ).batch
+        tree = ds.join_tree
+        roots = assign_roots(batch, tree, ds.database)
+        full = Decomposer(tree, "full").decompose(batch, roots)
+        none = Decomposer(tree, "none").decompose(batch, roots)
+        assert full.n_views < none.n_views / 3
+        assert full.n_total_aggregates < none.n_total_aggregates

@@ -1,0 +1,88 @@
+"""The Find Roots layer: weight heuristic of §3.3."""
+
+from repro import Aggregate, Query, QueryBatch
+from repro.engine.roots import assign_roots, possible_roots
+from repro.jointree.join_tree import join_tree_from_database
+
+
+class TestPossibleRoots:
+    def test_grouped_query_roots_contain_attr(self, toy_db):
+        tree = join_tree_from_database(toy_db)
+        query = Query("q", ["city"], [Aggregate.count()])
+        assert possible_roots(query, tree) == ["Stores"]
+
+    def test_join_key_group_by_allows_both_sides(self, toy_db):
+        tree = join_tree_from_database(toy_db)
+        query = Query("q", ["store"], [Aggregate.count()])
+        assert set(possible_roots(query, tree)) == {"Sales", "Stores"}
+
+    def test_scalar_query_can_root_anywhere(self, toy_db):
+        tree = join_tree_from_database(toy_db)
+        query = Query("q", [], [Aggregate.count()])
+        assert set(possible_roots(query, tree)) == set(tree.nodes)
+
+
+class TestAssignRoots:
+    def test_each_query_gets_a_valid_root(self, toy_db):
+        tree = join_tree_from_database(toy_db)
+        batch = QueryBatch(
+            [
+                Query("a", ["city"], [Aggregate.count()]),
+                Query("b", ["date"], [Aggregate.count()]),
+                Query("c", [], [Aggregate.count()]),
+            ]
+        )
+        roots = assign_roots(batch, tree, toy_db)
+        assert set(roots) == {"a", "b", "c"}
+        for query in batch:
+            assert roots[query.name] in possible_roots(query, tree)
+
+    def test_single_root_mode(self, toy_db):
+        tree = join_tree_from_database(toy_db)
+        batch = QueryBatch(
+            [
+                Query("a", ["city"], [Aggregate.count()]),
+                Query("b", ["price"], [Aggregate.count()]),
+            ]
+        )
+        roots = assign_roots(batch, tree, toy_db, multi_root=False)
+        assert len(set(roots.values())) == 1
+
+    def test_heavy_node_attracts_queries(self, toy_db):
+        tree = join_tree_from_database(toy_db)
+        # many queries grouped on Sales attrs, one on Stores
+        queries = [
+            Query(f"s{i}", ["date"], [Aggregate.count()]) for i in range(5)
+        ]
+        queries.append(Query("c", ["store"], [Aggregate.count()]))
+        roots = assign_roots(QueryBatch(queries), tree, toy_db)
+        # "store" is a join key: Sales carries the batch's weight, so the
+        # store-grouped query is rooted with the others at Sales
+        assert roots["c"] == "Sales"
+
+    def test_ties_broken_by_relation_size(self, toy_db):
+        tree = join_tree_from_database(toy_db)
+        batch = QueryBatch([Query("c", [], [Aggregate.count()])])
+        roots = assign_roots(batch, tree, toy_db)
+        # all nodes weigh the same; Sales is the largest relation
+        assert roots["c"] == "Sales"
+
+    def test_multiroot_reduces_view_count(self, chain_db):
+        """The paper's Example 3.3: per-attribute counts over a chain
+        benefit from one root per query."""
+        from repro.engine.pushdown import Decomposer
+
+        tree = join_tree_from_database(chain_db)
+        batch = QueryBatch(
+            [
+                Query(f"q_{attr}", [attr], [Aggregate.count()])
+                for attr in ("a", "b", "c", "d", "e")
+            ]
+        )
+        multi = Decomposer(tree).decompose(
+            batch, assign_roots(batch, tree, chain_db, multi_root=True)
+        )
+        single = Decomposer(tree).decompose(
+            batch, assign_roots(batch, tree, chain_db, multi_root=False)
+        )
+        assert multi.n_total_aggregates <= single.n_total_aggregates

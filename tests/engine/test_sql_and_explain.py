@@ -1,0 +1,114 @@
+"""SQL rendering and EXPLAIN output of LMFAO plans."""
+
+import pytest
+
+from repro import LMFAO, Aggregate, Delta, Query, QueryBatch, Udf
+from repro.engine.explain import explain
+from repro.engine.sql import function_sql, render_batch_sql, view_name
+from repro.query.functions import Exp, Identity, Log, Power
+
+
+@pytest.fixture
+def plan(toy_db):
+    engine = LMFAO(toy_db)
+    batch = QueryBatch(
+        [
+            Query("n", [], [Aggregate.count()]),
+            Query(
+                "g",
+                ["city"],
+                [Aggregate.of("units", Delta("price", "<=", 50.0), name="u")],
+            ),
+        ]
+    )
+    return engine, engine.plan(batch)
+
+
+class TestFunctionSql:
+    def test_identity(self):
+        assert function_sql(Identity("x")) == "x"
+
+    def test_power(self):
+        assert function_sql(Power("x", 2)) == "POWER(x, 2)"
+        assert function_sql(Power("x", 1)) == "x"
+
+    def test_delta_case_expression(self):
+        sql = function_sql(Delta("x", "<=", 3.0))
+        assert "CASE WHEN x <= 3.0" in sql
+
+    def test_delta_not_equal_uses_sql_operator(self):
+        assert "x <> 3.0" in function_sql(Delta("x", "!=", 3.0))
+
+    def test_delta_in(self):
+        sql = function_sql(Delta("x", "in", [1, 2]))
+        assert "x IN (1, 2)" in sql
+
+    def test_log_exp(self):
+        assert function_sql(Log("x")) == "LN(x)"
+        assert "EXP(" in function_sql(Exp(["x"], [0.5]))
+
+    def test_udf_rendered_as_call(self):
+        f = Udf(["x", "y"], lambda x, y: x + y, name="my_udf")
+        assert function_sql(f) == "my_udf(x, y)"
+
+
+class TestRenderBatch:
+    def test_script_contains_all_views(self, plan):
+        engine, engine_plan = plan
+        script = render_batch_sql(engine_plan.decomposed)
+        for view in engine_plan.decomposed.views:
+            assert view_name(view) in script
+
+    def test_views_created_before_use(self, plan):
+        """Dependency order: every CREATE VIEW precedes its references."""
+        _, engine_plan = plan
+        script = render_batch_sql(engine_plan.decomposed)
+        for view in engine_plan.decomposed.views:
+            if view.is_output:
+                continue
+            name = view_name(view)
+            create_pos = script.index(f"CREATE VIEW {name}")
+            use_marker = f"{name}.agg"
+            if use_marker in script:
+                assert create_pos < script.index(use_marker)
+
+    def test_group_by_clause_present(self, plan):
+        _, engine_plan = plan
+        script = render_batch_sql(engine_plan.decomposed)
+        assert "GROUP BY" in script
+
+    def test_delta_rendered_inline(self, plan):
+        _, engine_plan = plan
+        script = render_batch_sql(engine_plan.decomposed)
+        assert "CASE WHEN price <= 50.0" in script
+
+    def test_header_counts(self, plan):
+        _, engine_plan = plan
+        script = render_batch_sql(engine_plan.decomposed)
+        assert f"{engine_plan.decomposed.n_views} views" in script
+
+
+class TestExplain:
+    def test_sections_present(self, plan, toy_db):
+        engine, engine_plan = plan
+        text = explain(engine_plan, engine.join_tree)
+        for section in (
+            "join tree:",
+            "roots (Find Roots layer):",
+            "directional views",
+            "view groups",
+            "sharing summary:",
+        ):
+            assert section in text
+
+    def test_mentions_all_nodes(self, plan):
+        engine, engine_plan = plan
+        text = explain(engine_plan, engine.join_tree)
+        for node in engine.join_tree.nodes:
+            assert node in text
+
+    def test_group_levels_cover_all_groups(self, plan):
+        engine, engine_plan = plan
+        text = explain(engine_plan, engine.join_tree)
+        for group in engine_plan.grouped.groups:
+            assert f"group {group.id} @" in text

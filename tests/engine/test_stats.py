@@ -1,0 +1,69 @@
+"""Plan statistics (Table 2's A / I / V / G)."""
+
+from repro import LMFAO, Aggregate, Query, QueryBatch
+
+
+class TestStatistics:
+    def test_application_aggregate_count(self, toy_db):
+        engine = LMFAO(toy_db)
+        batch = QueryBatch(
+            [
+                Query("a", [], [Aggregate.count(), Aggregate.of("units")]),
+                Query("b", ["city"], [Aggregate.count()]),
+            ]
+        )
+        stats = engine.plan(batch).statistics
+        assert stats.n_application_aggregates == 3
+        assert stats.n_queries == 2
+
+    def test_intermediates_nonnegative(self, toy_db):
+        engine = LMFAO(toy_db)
+        batch = QueryBatch([Query("n", [], [Aggregate.count()])])
+        stats = engine.plan(batch).statistics
+        assert stats.n_intermediate_aggregates >= 0
+        assert stats.n_total_aggregates >= stats.n_application_aggregates
+
+    def test_views_per_node_sums_to_views(self, toy_db):
+        engine = LMFAO(toy_db)
+        batch = QueryBatch(
+            [
+                Query("a", ["city"], [Aggregate.count()]),
+                Query("b", ["date"], [Aggregate.count()]),
+            ]
+        )
+        stats = engine.plan(batch).statistics
+        assert sum(stats.views_per_node.values()) == stats.n_views
+
+    def test_groups_at_most_views(self, toy_db):
+        engine = LMFAO(toy_db)
+        batch = QueryBatch(
+            [Query("a", ["city"], [Aggregate.of("units", name="u")])]
+        )
+        stats = engine.plan(batch).statistics
+        assert 1 <= stats.n_groups <= stats.n_views
+
+    def test_roots_recorded(self, toy_db):
+        engine = LMFAO(toy_db)
+        batch = QueryBatch([Query("a", ["city"], [Aggregate.count()])])
+        stats = engine.plan(batch).statistics
+        assert stats.roots == {"a": "Stores"}
+
+    def test_table2_row_format(self, toy_db):
+        engine = LMFAO(toy_db)
+        batch = QueryBatch([Query("a", [], [Aggregate.count()])])
+        row = engine.plan(batch).statistics.table2_row()
+        assert "A+I" in row and "V:" in row and "G:" in row
+
+    def test_merging_reduces_view_statistic(self, tiny_favorita):
+        from repro.ml import CovarBatch
+
+        ds = tiny_favorita
+        batch = CovarBatch(
+            ["txns", "price"], ["stype", "family"], "units"
+        ).batch
+        full = LMFAO(ds.database, ds.join_tree, merge_mode="full")
+        none = LMFAO(ds.database, ds.join_tree, merge_mode="none")
+        assert (
+            full.plan(batch).statistics.n_views
+            < none.plan(batch).statistics.n_views
+        )

@@ -1,0 +1,111 @@
+"""UDAF coverage through the full engine: the §1.1 function vocabulary.
+
+The paper's aggregate language includes exponentials (logistic
+regression), parameterized linear combinations (the gradient's inner
+product), and arbitrary UDFs.  These tests push each through the engine
+and check against the materialized join.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    LMFAO,
+    Aggregate,
+    Exp,
+    Log,
+    Product,
+    Query,
+    QueryBatch,
+    materialize_join,
+)
+from repro.baselines import MaterializedEngine
+
+from .helpers import assert_results_equal
+
+
+class TestLogisticRegressionAggregates:
+    def test_exp_inner_product_aggregate(self, toy_db):
+        """sum exp(theta . x) — the logistic-regression example of §1.1."""
+        exp_factor = Exp(["units", "price"], [0.01, -0.005])
+        batch = QueryBatch(
+            [Query("ll", [], [Aggregate.of(exp_factor, name="v")])]
+        )
+        got = LMFAO(toy_db).run(batch)
+        flat = materialize_join(toy_db)
+        expected = np.exp(
+            0.01 * flat.column("units") - 0.005 * flat.column("price")
+        ).sum()
+        assert np.isclose(got["ll"].column("v")[0], expected, rtol=1e-9)
+
+    def test_exp_grouped(self, toy_db):
+        exp_factor = Exp(["units"], [0.02])
+        batch = QueryBatch(
+            [Query("g", ["city"], [Aggregate.of(exp_factor, name="v")])]
+        )
+        got = LMFAO(toy_db).run(batch)
+        expected = MaterializedEngine(toy_db).run(batch)
+        assert_results_equal(got, expected, batch, rtol=1e-9)
+
+
+class TestGradientVectorAggregates:
+    def test_inner_product_linear_combination(self, toy_db):
+        """sum_j theta_j X_j as a multi-term aggregate (the gradient
+        vector formulation of §2)."""
+        thetas = [0.5, -0.25]
+        features = ["units", "price"]
+        agg = Aggregate.linear_combination(
+            thetas, [[f] for f in features], name="ip"
+        )
+        batch = QueryBatch([Query("q", [], [agg])])
+        got = LMFAO(toy_db).run(batch)
+        flat = materialize_join(toy_db)
+        expected = (
+            0.5 * flat.column("units") - 0.25 * flat.column("price")
+        ).sum()
+        assert np.isclose(got["q"].column("ip")[0], expected, rtol=1e-9)
+
+    def test_gradient_component(self, toy_db):
+        """sum (theta . x) * x_k — one gradient entry, as a sum of
+        two-factor products."""
+        agg = Aggregate(
+            [
+                Product(["units", "units"], coefficient=0.5),
+                Product(["price", "units"], coefficient=-0.25),
+            ],
+            name="grad_units",
+        )
+        batch = QueryBatch([Query("q", [], [agg])])
+        got = LMFAO(toy_db).run(batch)
+        flat = materialize_join(toy_db)
+        u, p = flat.column("units"), flat.column("price")
+        expected = ((0.5 * u - 0.25 * p) * u).sum()
+        assert np.isclose(got["q"].column("grad_units")[0], expected, rtol=1e-9)
+
+
+class TestLogAggregates:
+    def test_log_factor(self, toy_db):
+        batch = QueryBatch(
+            [Query("q", [], [Aggregate.of(Log("price"), name="lp")])]
+        )
+        got = LMFAO(toy_db).run(batch)
+        flat = materialize_join(toy_db)
+        assert np.isclose(
+            got["q"].column("lp")[0],
+            np.log(flat.column("price")).sum(),
+            rtol=1e-9,
+        )
+
+    def test_mixed_log_identity_product(self, toy_db):
+        batch = QueryBatch(
+            [
+                Query(
+                    "q",
+                    ["city"],
+                    [Aggregate.of(Log("price"), "units", name="v")],
+                )
+            ]
+        )
+        got = LMFAO(toy_db).run(batch)
+        expected = MaterializedEngine(toy_db).run(batch)
+        assert_results_equal(got, expected, batch, rtol=1e-9)

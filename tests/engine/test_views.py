@@ -1,0 +1,71 @@
+"""Unit tests of the view IR (AggregateSpec, View, ViewRef)."""
+
+import pytest
+
+from repro.engine.views import AggregateSpec, View, ViewRef
+from repro.query.functions import Delta, Identity
+
+
+class TestAggregateSpec:
+    def test_signature_order_invariant(self):
+        a = AggregateSpec(
+            1.0,
+            (Identity("x"), Identity("y")),
+            (ViewRef(1, 0), ViewRef(2, 3)),
+        )
+        b = AggregateSpec(
+            1.0,
+            (Identity("y"), Identity("x")),
+            (ViewRef(2, 3), ViewRef(1, 0)),
+        )
+        assert a.signature() == b.signature()
+
+    def test_signature_coefficient_sensitive(self):
+        a = AggregateSpec(1.0, (), ())
+        b = AggregateSpec(2.0, (), ())
+        assert a.signature() != b.signature()
+
+    def test_dynamic_without_slot_never_merges(self):
+        d1 = Delta("x", "<=", 1.0, dynamic=True)
+        d2 = Delta("x", "<=", 1.0, dynamic=True)
+        a = AggregateSpec(1.0, (d1,), ())
+        b = AggregateSpec(1.0, (d2,), ())
+        # without slots the object identity keeps them apart
+        assert a.signature({}) != b.signature({})
+
+    def test_dynamic_with_slots(self):
+        d1 = Delta("x", "<=", 1.0, dynamic=True)
+        d2 = Delta("x", "<=", 9.0, dynamic=True)
+        slots = {id(d1): 0, id(d2): 1}
+        a = AggregateSpec(1.0, (d1,), ())
+        b = AggregateSpec(1.0, (d2,), ())
+        assert a.signature(slots) != b.signature(slots)
+        # same slot -> same signature regardless of value
+        assert a.signature({id(d1): 5}) == b.signature({id(d2): 5})
+
+    def test_referenced_view_ids_sorted_unique(self):
+        spec = AggregateSpec(
+            1.0, (), (ViewRef(3, 0), ViewRef(1, 2), ViewRef(3, 1))
+        )
+        assert spec.referenced_view_ids() == (1, 3)
+
+
+class TestView:
+    def test_names(self):
+        edge = View(0, "A", "B", ("k",))
+        output = View(1, "A", None, ())
+        assert "A->B" in edge.name
+        assert edge.is_output is False
+        assert output.is_output is True
+        assert "@A" in output.name
+
+    def test_add_aggregate_returns_index(self):
+        view = View(0, "A", "B", ("k",))
+        assert view.add_aggregate(AggregateSpec(1.0, (), ())) == 0
+        assert view.add_aggregate(AggregateSpec(2.0, (), ())) == 1
+
+    def test_referenced_view_ids_across_aggregates(self):
+        view = View(0, "A", "B", ("k",))
+        view.add_aggregate(AggregateSpec(1.0, (), (ViewRef(5, 0),)))
+        view.add_aggregate(AggregateSpec(1.0, (), (ViewRef(7, 0),)))
+        assert set(view.referenced_view_ids()) == {5, 7}

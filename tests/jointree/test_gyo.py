@@ -1,0 +1,99 @@
+"""GYO reduction: acyclicity detection."""
+
+from repro.jointree.gyo import ear_decomposition, is_acyclic
+
+
+class TestAcyclic:
+    def test_single_edge(self):
+        assert is_acyclic({"R": {"a", "b"}})
+
+    def test_empty(self):
+        assert is_acyclic({})
+
+    def test_chain(self):
+        edges = {
+            "R1": {"a", "b"},
+            "R2": {"b", "c"},
+            "R3": {"c", "d"},
+        }
+        assert is_acyclic(edges)
+
+    def test_star(self):
+        edges = {
+            "F": {"a", "b", "c"},
+            "D1": {"a", "x"},
+            "D2": {"b", "y"},
+            "D3": {"c", "z"},
+        }
+        assert is_acyclic(edges)
+
+    def test_snowflake(self):
+        edges = {
+            "F": {"a", "b"},
+            "D1": {"a", "c"},
+            "D2": {"c", "d"},
+            "D3": {"b", "e"},
+        }
+        assert is_acyclic(edges)
+
+    def test_triangle_is_cyclic(self):
+        edges = {
+            "R": {"a", "b"},
+            "S": {"b", "c"},
+            "T": {"a", "c"},
+        }
+        assert not is_acyclic(edges)
+
+    def test_square_is_cyclic(self):
+        edges = {
+            "R": {"a", "b"},
+            "S": {"b", "c"},
+            "T": {"c", "d"},
+            "U": {"d", "a"},
+        }
+        assert not is_acyclic(edges)
+
+    def test_triangle_with_covering_edge_is_acyclic(self):
+        # adding an edge containing the whole triangle makes it an ear tree
+        edges = {
+            "R": {"a", "b"},
+            "S": {"b", "c"},
+            "T": {"a", "c"},
+            "big": {"a", "b", "c"},
+        }
+        assert is_acyclic(edges)
+
+    def test_disconnected_components(self):
+        edges = {"R": {"a"}, "S": {"b"}}
+        assert is_acyclic(edges)
+
+
+class TestEarDecomposition:
+    def test_order_gives_tree_edges(self):
+        edges = {
+            "R1": {"a", "b"},
+            "R2": {"b", "c"},
+            "R3": {"c", "d"},
+        }
+        order = ear_decomposition(edges)
+        assert order is not None
+        assert len(order) == 3
+        # final entry is the surviving edge
+        assert order[-1][1] is None
+        witnesses = [(e, w) for e, w in order if w is not None]
+        assert len(witnesses) == 2
+
+    def test_cyclic_returns_none(self):
+        edges = {
+            "R": {"a", "b"},
+            "S": {"b", "c"},
+            "T": {"a", "c"},
+        }
+        assert ear_decomposition(edges) is None
+
+    def test_subsumed_edge_is_ear(self):
+        edges = {"Big": {"a", "b", "c"}, "Small": {"a", "b"}}
+        order = ear_decomposition(edges)
+        # either direction is a valid ear/witness pair here
+        assert order[0][1] is not None
+        assert {order[0][0], order[0][1]} == {"Small", "Big"}

@@ -1,0 +1,100 @@
+"""Join trees: construction, running intersection, rooted views."""
+
+import numpy as np
+import pytest
+
+from repro.data import Database, Relation
+from repro.data.schema import Schema, key
+from repro.jointree.join_tree import JoinTree, join_tree_from_database
+
+
+def db_from_schemas(schemas):
+    relations = []
+    for name, attrs in schemas.items():
+        cols = {a: np.array([0, 1], dtype=np.int64) for a in attrs}
+        relations.append(
+            Relation(name, Schema([key(a) for a in attrs]), cols)
+        )
+    return Database(relations, name="synthetic")
+
+
+class TestConstruction:
+    def test_from_acyclic_database(self, toy_db):
+        tree = join_tree_from_database(toy_db)
+        assert set(tree.nodes) == {"Sales", "Stores", "Oil"}
+        assert len(tree.edges) == 2
+
+    def test_explicit_edges_validated(self, toy_db):
+        tree = join_tree_from_database(
+            toy_db, edges=[("Sales", "Stores"), ("Sales", "Oil")]
+        )
+        assert tree.join_keys("Sales", "Stores") == ("store",)
+
+    def test_cyclic_database_rejected(self):
+        db = db_from_schemas(
+            {"R": ["a", "b"], "S": ["b", "c"], "T": ["a", "c"]}
+        )
+        with pytest.raises(ValueError, match="cyclic"):
+            join_tree_from_database(db)
+
+    def test_wrong_edge_count_rejected(self, toy_db):
+        with pytest.raises(ValueError, match="edges"):
+            join_tree_from_database(toy_db, edges=[("Sales", "Stores")])
+
+    def test_unknown_node_rejected(self, toy_db):
+        with pytest.raises(ValueError, match="unknown node"):
+            join_tree_from_database(
+                toy_db, edges=[("Sales", "Nope"), ("Sales", "Oil")]
+            )
+
+    def test_running_intersection_violation_rejected(self):
+        # R1(a,b) - R3(c) - R2(b,c): shared attr b of R1,R2 missing on path
+        db = db_from_schemas({"R1": ["a", "b"], "R2": ["b", "c"], "R3": ["c"]})
+        with pytest.raises(ValueError, match="running intersection"):
+            JoinTree(
+                {"R1": {"a", "b"}, "R2": {"b", "c"}, "R3": {"c"}},
+                [("R1", "R3"), ("R3", "R2")],
+            )
+
+    def test_disconnected_tree_rejected(self):
+        with pytest.raises(ValueError):
+            JoinTree(
+                {"A": {"x"}, "B": {"x"}, "C": {"y"}, "D": {"y"}},
+                [("A", "B"), ("C", "D"), ("A", "B")],
+            )
+
+
+class TestRootedView:
+    @pytest.fixture
+    def chain_tree(self, chain_db):
+        return join_tree_from_database(chain_db)
+
+    def test_parents_and_depths(self, chain_tree):
+        rooted = chain_tree.rooted("R1")
+        assert rooted.parent["R1"] is None
+        assert rooted.depth["R4"] == 3
+        assert rooted.parent["R4"] == "R3"
+
+    def test_subtree_attrs(self, chain_tree):
+        rooted = chain_tree.rooted("R1")
+        assert rooted.subtree_attrs["R4"] == frozenset({"d", "e"})
+        assert rooted.subtree_attrs["R1"] == frozenset(
+            {"a", "b", "c", "d", "e"}
+        )
+
+    def test_order_is_topdown(self, chain_tree):
+        rooted = chain_tree.rooted("R2")
+        position = {n: i for i, n in enumerate(rooted.order)}
+        for node, parent in rooted.parent.items():
+            if parent is not None:
+                assert position[parent] < position[node]
+
+    def test_rooted_cached(self, chain_tree):
+        assert chain_tree.rooted("R1") is chain_tree.rooted("R1")
+
+    def test_path_to_root(self, chain_tree):
+        rooted = chain_tree.rooted("R1")
+        assert rooted.path_to_root("R4") == ["R4", "R3", "R2", "R1"]
+
+    def test_all_attrs(self, chain_tree):
+        assert chain_tree.all_attrs() == frozenset({"a", "b", "c", "d", "e"})

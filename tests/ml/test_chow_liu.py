@@ -1,0 +1,79 @@
+"""Chow-Liu trees: structure learning over LMFAO mutual information."""
+
+import numpy as np
+import pytest
+
+from repro import LMFAO
+from repro.ml.chow_liu import chow_liu_tree
+
+
+class TestChowLiu:
+    def test_result_is_spanning_tree(self, tiny_favorita):
+        ds = tiny_favorita
+        attrs = ["stype", "promo", "locale", "family", "perishable"]
+        engine = LMFAO(ds.database, ds.join_tree)
+        edges, mi = chow_liu_tree(engine, attrs)
+        assert len(edges) == len(attrs) - 1
+        # connected: union-find over the edges
+        parent = {a: a for a in attrs}
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for a, b in edges:
+            parent[find(a)] = find(b)
+        assert len({find(a) for a in attrs}) == 1
+
+    def test_maximizes_total_mi(self, tiny_favorita):
+        """The Chow-Liu tree's total MI weight is maximal among a sample
+        of random spanning trees."""
+        ds = tiny_favorita
+        attrs = ["stype", "promo", "locale", "family"]
+        engine = LMFAO(ds.database, ds.join_tree)
+        edges, mi = chow_liu_tree(engine, attrs)
+        # mi keys follow the attrs-list order; normalize lookups
+        weight = {frozenset(pair): value for pair, value in mi.items()}
+        chosen_weight = sum(weight[frozenset(e)] for e in edges)
+
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            order = list(rng.permutation(attrs))
+            random_edges = [
+                frozenset((order[i], order[rng.integers(0, i)]))
+                for i in range(1, len(order))
+            ]
+            random_weight = sum(weight[e] for e in random_edges)
+            assert chosen_weight >= random_weight - 1e-12
+
+    def test_requires_two_attrs(self, tiny_favorita):
+        ds = tiny_favorita
+        engine = LMFAO(ds.database, ds.join_tree)
+        with pytest.raises(ValueError):
+            chow_liu_tree(engine, ["stype"])
+
+    def test_correlated_pair_forms_edge(self):
+        """Attributes that determine each other must be adjacent."""
+        from repro.data import Database, Relation
+        from repro.data.schema import Schema, categorical, key
+
+        rng = np.random.default_rng(1)
+        n = 2_000
+        a = rng.integers(0, 3, n)
+        rel = Relation(
+            "R",
+            Schema(
+                [key("k"), categorical("a"), categorical("b"), categorical("c")]
+            ),
+            {
+                "k": np.arange(n),
+                "a": a,
+                "b": a,  # b == a exactly
+                "c": rng.integers(0, 3, n),  # independent
+            },
+        )
+        engine = LMFAO(Database([rel]))
+        edges, _ = chow_liu_tree(engine, ["a", "b", "c"])
+        assert ("a", "b") in edges

@@ -1,0 +1,116 @@
+"""Covar batches: entries match brute force over the materialized join."""
+
+import numpy as np
+import pytest
+
+from repro import LMFAO, materialize_join
+from repro.ml.covar import CovarBatch, covar_batch_size
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    toy_db = request.getfixturevalue("toy_db")
+    engine = LMFAO(toy_db)
+    flat = materialize_join(toy_db)
+    covar = CovarBatch(["price", "size"], ["city"], "units")
+    matrix, index = covar.assemble(engine.run(covar.batch))
+    return toy_db, flat, covar, matrix, index
+
+
+class TestBatchShape:
+    def test_aggregate_count_formula(self, toy_db):
+        covar = CovarBatch(["price"], ["city"], "units")
+        assert covar.batch.n_application_aggregates == covar_batch_size(1, 1)
+
+    def test_all_continuous_formula(self):
+        # (n+1)(n+2)/2 for n features including the label
+        n_features = 3  # 3 continuous + label -> n = 4 "attributes"
+        size = covar_batch_size(n_features, 0)
+        n = n_features + 1
+        assert size == (n + 1) * (n + 2) // 2
+
+    def test_label_must_be_continuous(self):
+        with pytest.raises(ValueError):
+            CovarBatch(["x"], ["c"], "c")
+
+
+class TestMatrixEntries:
+    def test_count_entry(self, setup):
+        _, flat, _, matrix, _ = setup
+        assert matrix[0, 0] == flat.n_rows
+
+    def test_first_moments(self, setup):
+        _, flat, _, matrix, index = setup
+        pos = index.continuous_pos("price")
+        assert np.isclose(matrix[0, pos], flat.column("price").sum())
+
+    def test_continuous_pair(self, setup):
+        _, flat, _, matrix, index = setup
+        expected = (flat.column("price") * flat.column("size")).sum()
+        got = matrix[index.continuous_pos("price"), index.continuous_pos("size")]
+        assert np.isclose(got, expected)
+
+    def test_label_column(self, setup):
+        _, flat, _, matrix, index = setup
+        expected = (flat.column("price") * flat.column("units")).sum()
+        got = matrix[index.continuous_pos("price"), index.label_position]
+        assert np.isclose(got, expected)
+
+    def test_squared_diagonal(self, setup):
+        _, flat, _, matrix, index = setup
+        pos = index.continuous_pos("size")
+        assert np.isclose(matrix[pos, pos], (flat.column("size") ** 2).sum())
+
+    def test_categorical_diagonal_counts(self, setup):
+        _, flat, _, matrix, index = setup
+        city = flat.column("city")
+        for value in np.unique(city):
+            pos = index.categorical_pos("city", value)
+            assert matrix[pos, pos] == (city == value).sum()
+
+    def test_categorical_cross_continuous(self, setup):
+        _, flat, _, matrix, index = setup
+        city = flat.column("city")
+        units = flat.column("units")
+        for value in np.unique(city):
+            pos = index.categorical_pos("city", value)
+            row, col = sorted((pos, index.label_position))
+            assert np.isclose(
+                matrix[row, col], units[city == value].sum()
+            )
+
+    def test_matrix_symmetric(self, setup):
+        *_, matrix, _ = setup
+        assert np.allclose(matrix, matrix.T)
+
+    def test_matrix_psd(self, setup):
+        # sum of outer products z z^T is positive semidefinite
+        *_, matrix, _ = setup
+        eigenvalues = np.linalg.eigvalsh(matrix)
+        assert eigenvalues.min() > -1e-6 * max(1.0, eigenvalues.max())
+
+    def test_unseen_category_raises(self, setup):
+        *_, index = setup
+        with pytest.raises(KeyError):
+            index.categorical_pos("city", 999_999)
+
+
+class TestCategoricalPairs:
+    def test_pair_blocks(self, tiny_favorita):
+        ds = tiny_favorita
+        engine = LMFAO(ds.database, ds.join_tree)
+        covar = CovarBatch(["txns"], ["stype", "promo"], "units")
+        matrix, index = covar.assemble(engine.run(covar.batch))
+        flat = materialize_join(ds.database)
+        stype = flat.column("stype")
+        promo = flat.column("promo")
+        for sv in np.unique(stype):
+            for pv in np.unique(promo):
+                expected = ((stype == sv) & (promo == pv)).sum()
+                row, col = sorted(
+                    (
+                        index.categorical_pos("stype", sv),
+                        index.categorical_pos("promo", pv),
+                    )
+                )
+                assert matrix[row, col] == expected

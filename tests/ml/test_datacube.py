@@ -1,0 +1,113 @@
+"""Data cubes: cuboid counts, ALL encoding, rollup consistency."""
+
+import numpy as np
+import pytest
+
+from repro import LMFAO, materialize_join
+from repro.ml.datacube import ALL, DataCube, build_cube_batch
+
+
+@pytest.fixture(scope="module")
+def cube_setup(request):
+    ds = request.getfixturevalue("tiny_favorita")
+    engine = LMFAO(ds.database, ds.join_tree)
+    cube = DataCube(engine, ["stype", "locale", "promo"], ["units", "txns"])
+    cube.compute()
+    flat = materialize_join(ds.database)
+    return cube, flat
+
+
+class TestBatchShape:
+    def test_2k_cuboids(self):
+        batch = build_cube_batch(["a", "b", "c"], ["m"])
+        assert len(batch) == 8
+
+    def test_aggregate_count_formula(self):
+        # 2^d * v application aggregates (paper Table 2 formula)
+        batch = build_cube_batch(["a", "b"], ["m1", "m2", "m3"])
+        assert batch.n_application_aggregates == 4 * 3
+
+    def test_needs_dimensions_and_measures(self):
+        with pytest.raises(ValueError):
+            build_cube_batch([], ["m"])
+        with pytest.raises(ValueError):
+            build_cube_batch(["a"], [])
+
+
+class TestCubeContents:
+    def test_apex_matches_total(self, cube_setup):
+        cube, flat = cube_setup
+        apex = cube.cuboid([])
+        assert np.isclose(apex.column("sum:units")[0], flat.column("units").sum())
+
+    def test_single_dimension_cuboid(self, cube_setup):
+        cube, flat = cube_setup
+        cuboid = cube.cuboid(["stype"])
+        stype = flat.column("stype")
+        units = flat.column("units")
+        for value, total in zip(
+            cuboid.column("stype"), cuboid.column("sum:units")
+        ):
+            assert np.isclose(total, units[stype == value].sum())
+
+    def test_full_cuboid(self, cube_setup):
+        cube, flat = cube_setup
+        cuboid = cube.cuboid(["stype", "locale", "promo"])
+        # spot-check one cell
+        s, l, p = (
+            cuboid.column("stype")[0],
+            cuboid.column("locale")[0],
+            cuboid.column("promo")[0],
+        )
+        mask = (
+            (flat.column("stype") == s)
+            & (flat.column("locale") == l)
+            & (flat.column("promo") == p)
+        )
+        assert np.isclose(
+            cuboid.column("sum:units")[0], flat.column("units")[mask].sum()
+        )
+
+    def test_rollup_consistency(self, cube_setup):
+        """Summing any cuboid over one dimension gives the coarser cuboid
+        — the defining property of the cube lattice."""
+        cube, _ = cube_setup
+        fine = cube.cuboid(["stype", "locale"])
+        coarse = cube.cuboid(["stype"])
+        rolled = {}
+        for s, units in zip(fine.column("stype"), fine.column("sum:units")):
+            rolled[s] = rolled.get(s, 0.0) + units
+        for s, units in zip(coarse.column("stype"), coarse.column("sum:units")):
+            assert np.isclose(rolled[s], units)
+
+
+class TestCubeRelation:
+    def test_all_value_encoding(self, cube_setup):
+        cube, _ = cube_setup
+        relation = cube.cube
+        apex_rows = relation.filter(
+            (relation.column("stype") == ALL)
+            & (relation.column("locale") == ALL)
+            & (relation.column("promo") == ALL)
+        )
+        assert apex_rows.n_rows == 1
+
+    def test_row_count_is_sum_of_cuboids(self, cube_setup):
+        cube, _ = cube_setup
+        total = 0
+        from itertools import combinations
+
+        for size in range(4):
+            for subset in combinations(["stype", "locale", "promo"], size):
+                total += cube.cuboid(list(subset)).n_rows
+        assert cube.cube.n_rows == total
+
+    def test_slice(self, cube_setup):
+        cube, flat = cube_setup
+        promo_values = np.unique(flat.column("promo"))
+        sliced = cube.slice(promo=int(promo_values[0]))
+        assert sliced.n_rows == 1
+        expected = flat.column("units")[
+            flat.column("promo") == promo_values[0]
+        ].sum()
+        assert np.isclose(sliced.column("units")[0], expected)

@@ -1,0 +1,74 @@
+"""K-means over joins: convergence and agreement with direct Lloyd steps."""
+
+import numpy as np
+import pytest
+
+from repro import LMFAO, materialize_join
+from repro.ml.kmeans import kmeans
+
+
+class TestKMeans:
+    @pytest.fixture(scope="class")
+    def setup(self, request):
+        ds = request.getfixturevalue("tiny_favorita")
+        engine = LMFAO(ds.database, ds.join_tree)
+        flat = materialize_join(ds.database)
+        return engine, flat
+
+    def test_converges(self, setup):
+        engine, _ = setup
+        result = kmeans(engine, ["txns", "price"], 3, max_iterations=15)
+        assert result.iterations <= 15
+        assert result.centroids.shape == (3, 2)
+
+    def test_inertia_monotone_after_first_step(self, setup):
+        engine, _ = setup
+        result = kmeans(engine, ["txns", "price"], 3, max_iterations=15)
+        history = result.inertia_history
+        for before, after in zip(history[1:], history[2:]):
+            assert after <= before + 1e-6 * max(1.0, before)
+
+    def test_centroids_match_assignment_means(self, setup):
+        """Fixed point: each final centroid is the mean of its cluster
+        over the materialized join."""
+        engine, flat = setup
+        result = kmeans(
+            engine, ["txns", "price"], 3, max_iterations=30, tolerance=1e-9
+        )
+        assignment = result.assign(flat)
+        points = np.stack(
+            [flat.column("txns"), flat.column("price")], axis=1
+        ).astype(np.float64)
+        for j in range(3):
+            mask = assignment == j
+            if mask.sum() == 0:
+                continue
+            assert np.allclose(
+                result.centroids[j], points[mask].mean(axis=0),
+                rtol=1e-6, atol=1e-6,
+            )
+
+    def test_k_one_gives_global_mean(self, setup):
+        engine, flat = setup
+        result = kmeans(engine, ["txns"], 1, max_iterations=5)
+        assert np.isclose(
+            result.centroids[0, 0], flat.column("txns").mean(), rtol=1e-9
+        )
+
+    def test_invalid_k(self, setup):
+        engine, _ = setup
+        with pytest.raises(ValueError):
+            kmeans(engine, ["txns"], 0)
+
+    def test_unknown_feature(self, setup):
+        engine, _ = setup
+        with pytest.raises(KeyError):
+            kmeans(engine, ["ghost"], 2)
+
+    def test_dynamic_udf_plans_reused(self, toy_db):
+        """Across iterations the batch structure is identical, so the
+        compiled plan is reused with re-bound centroids."""
+        engine = LMFAO(toy_db)
+        kmeans(engine, ["units", "price"], 2, max_iterations=6, tolerance=0)
+        # one plan per (k-structure), not one per iteration
+        assert len(engine._plan_cache) == 1

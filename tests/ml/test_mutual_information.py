@@ -1,0 +1,125 @@
+"""Mutual information: matches direct computation on the joint distribution."""
+
+import numpy as np
+import pytest
+
+from repro import LMFAO, materialize_join
+from repro.ml.mutual_information import (
+    build_mi_batch,
+    mutual_information_from_results,
+    pairwise_mutual_information,
+)
+
+
+def direct_mi(flat, a, b):
+    """Reference MI computed straight from the materialized join."""
+    col_a = flat.column(a)
+    col_b = flat.column(b)
+    n = len(col_a)
+    mi = 0.0
+    for va in np.unique(col_a):
+        mask_a = col_a == va
+        p_a = mask_a.sum() / n
+        for vb in np.unique(col_b):
+            joint = (mask_a & (col_b == vb)).sum() / n
+            if joint > 0:
+                p_b = (col_b == vb).sum() / n
+                mi += joint * np.log(joint / (p_a * p_b))
+    return max(0.0, mi)
+
+
+class TestBatchShape:
+    def test_query_count(self):
+        batch = build_mi_batch(["a", "b", "c"])
+        # 1 total + 3 marginals + 3 pairs
+        assert len(batch) == 7
+
+    def test_pairwise_formula(self):
+        n = 5
+        batch = build_mi_batch([f"x{i}" for i in range(n)])
+        n_pairs = n * (n - 1) // 2
+        assert len(batch) == 1 + n + n_pairs
+
+
+class TestValues:
+    @pytest.fixture(scope="class")
+    def mi_setup(self, request):
+        ds = request.getfixturevalue("tiny_favorita")
+        attrs = ["stype", "promo", "locale", "family"]
+        engine = LMFAO(ds.database, ds.join_tree)
+        mi = pairwise_mutual_information(engine, attrs)
+        flat = materialize_join(ds.database)
+        return attrs, mi, flat
+
+    def test_matches_direct_computation(self, mi_setup):
+        attrs, mi, flat = mi_setup
+        for (a, b), value in mi.items():
+            assert np.isclose(value, direct_mi(flat, a, b), atol=1e-9), (
+                a,
+                b,
+            )
+
+    def test_nonnegative(self, mi_setup):
+        _, mi, _ = mi_setup
+        assert all(v >= 0.0 for v in mi.values())
+
+    def test_all_pairs_present(self, mi_setup):
+        attrs, mi, _ = mi_setup
+        expected_pairs = {(a, b) for i, a in enumerate(attrs) for b in attrs[i + 1:]}
+        assert set(mi) == expected_pairs
+
+    def test_self_information_upper_bounds_pair(self, mi_setup):
+        """MI(a,b) <= min(H(a), H(b))."""
+        attrs, mi, flat = mi_setup
+        def entropy(attr):
+            col = flat.column(attr)
+            _, counts = np.unique(col, return_counts=True)
+            p = counts / counts.sum()
+            return float(-(p * np.log(p)).sum())
+        for (a, b), value in mi.items():
+            assert value <= min(entropy(a), entropy(b)) + 1e-9
+
+
+class TestEdgeCases:
+    def test_independent_attrs_near_zero(self):
+        # attributes generated independently have small MI
+        from repro.data import Database, Relation
+        from repro.data.schema import Schema, categorical, key
+
+        rng = np.random.default_rng(0)
+        n = 5_000
+        rel = Relation(
+            "R",
+            Schema([key("k"), categorical("a"), categorical("b")]),
+            {
+                "k": np.arange(n),
+                "a": rng.integers(0, 2, n),
+                "b": rng.integers(0, 2, n),
+            },
+        )
+        dim = Relation(
+            "D",
+            Schema([key("k")]),
+            {"k": np.arange(n)},
+        )
+        db = Database([rel, dim])
+        engine = LMFAO(db)
+        mi = pairwise_mutual_information(engine, ["a", "b"])
+        assert mi[("a", "b")] < 0.01
+
+    def test_perfectly_dependent_attr(self):
+        from repro.data import Database, Relation
+        from repro.data.schema import Schema, categorical, key
+
+        n = 99  # divisible by 3: uniform distribution over categories
+        values = np.arange(n) % 3
+        rel = Relation(
+            "R",
+            Schema([key("k"), categorical("a"), categorical("b")]),
+            {"k": np.arange(n), "a": values, "b": values},
+        )
+        db = Database([rel])
+        # single-relation "join": MI(a, a) = H(a) = log 3
+        engine = LMFAO(db)
+        mi = pairwise_mutual_information(engine, ["a", "b"])
+        assert np.isclose(mi[("a", "b")], np.log(3), atol=1e-9)

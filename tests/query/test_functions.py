@@ -1,0 +1,150 @@
+"""Function algebra: evaluation, inline expressions, signatures."""
+
+import numpy as np
+import pytest
+
+from repro.query.functions import (
+    Constant,
+    Delta,
+    Exp,
+    Identity,
+    Log,
+    Power,
+    Udf,
+    fold_constants,
+)
+
+
+def run_expr(function, columns):
+    """Evaluate the inline source form the Compilation layer emits."""
+    col_vars = {a: f"c_{a}" for a in function.attrs}
+    namespace = {"np": np}
+    namespace.update({f"c_{a}": v for a, v in columns.items()})
+    return eval(function.expr(col_vars), namespace)
+
+
+@pytest.fixture
+def cols():
+    return {
+        "x": np.array([1.0, 2.0, 3.0]),
+        "y": np.array([-1.0, 0.5, 2.0]),
+        "c": np.array([0, 1, 2]),
+    }
+
+
+class TestIdentityPower:
+    def test_identity(self, cols):
+        assert Identity("x").evaluate(cols).tolist() == [1.0, 2.0, 3.0]
+
+    def test_identity_expr_matches(self, cols):
+        f = Identity("x")
+        assert np.allclose(run_expr(f, cols), f.evaluate(cols))
+
+    def test_power(self, cols):
+        assert Power("x", 2).evaluate(cols).tolist() == [1.0, 4.0, 9.0]
+
+    def test_power_expr_matches(self, cols):
+        f = Power("x", 3)
+        assert np.allclose(run_expr(f, cols), f.evaluate(cols))
+
+    def test_identity_casts_ints(self, cols):
+        out = Identity("c").evaluate(cols)
+        assert out.dtype == np.float64
+
+
+class TestDelta:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("<=", [1.0, 1.0, 0.0]),
+            ("<", [1.0, 0.0, 0.0]),
+            (">=", [0.0, 1.0, 1.0]),
+            (">", [0.0, 0.0, 1.0]),
+            ("==", [0.0, 1.0, 0.0]),
+            ("!=", [1.0, 0.0, 1.0]),
+        ],
+    )
+    def test_operators(self, cols, op, expected):
+        assert Delta("x", op, 2.0).evaluate(cols).tolist() == expected
+
+    def test_in_operator(self, cols):
+        f = Delta("c", "in", [0, 2])
+        assert f.evaluate(cols).tolist() == [1.0, 0.0, 1.0]
+
+    def test_expr_matches(self, cols):
+        for op in ("<=", "<", ">=", ">", "==", "!="):
+            f = Delta("x", op, 2.0)
+            assert np.allclose(run_expr(f, cols), f.evaluate(cols))
+
+    def test_in_expr_matches(self, cols):
+        f = Delta("c", "in", [0, 2])
+        assert np.allclose(run_expr(f, cols), f.evaluate(cols))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Delta("x", "~~", 1.0)
+
+    def test_dynamic_structural_signature_hides_value(self):
+        a = Delta("x", "<=", 1.0, dynamic=True)
+        b = Delta("x", "<=", 99.0, dynamic=True)
+        assert a.signature() != b.signature()
+        assert a.structural_signature(0) == b.structural_signature(0)
+        assert a.structural_signature(0) != b.structural_signature(1)
+
+
+class TestOtherFunctions:
+    def test_log(self, cols):
+        f = Log("x")
+        assert np.allclose(f.evaluate(cols), np.log(cols["x"]))
+        assert np.allclose(run_expr(f, cols), f.evaluate(cols))
+
+    def test_exp(self, cols):
+        f = Exp(["x", "y"], [0.5, -1.0])
+        expected = np.exp(0.5 * cols["x"] - cols["y"])
+        assert np.allclose(f.evaluate(cols), expected)
+        assert np.allclose(run_expr(f, cols), expected)
+
+    def test_exp_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Exp(["x"], [1.0, 2.0])
+
+    def test_udf_evaluate(self, cols):
+        f = Udf(["x", "y"], lambda x, y: x + y, name="add")
+        assert f.evaluate(cols).tolist() == [0.0, 2.5, 5.0]
+
+    def test_udf_has_no_inline_form(self, cols):
+        f = Udf(["x"], lambda x: x, name="id")
+        with pytest.raises(RuntimeError):
+            f.expr({"x": "c_x"})
+
+    def test_constant_never_evaluated(self, cols):
+        with pytest.raises(RuntimeError):
+            Constant(2.0).evaluate(cols)
+
+
+class TestSignatures:
+    def test_equality_by_signature(self):
+        assert Identity("x") == Identity("x")
+        assert Identity("x") != Identity("y")
+        assert Power("x", 2) != Identity("x")
+        assert Delta("x", "<=", 1.0) == Delta("x", "<=", 1.0)
+
+    def test_hashable(self):
+        assert len({Identity("x"), Identity("x"), Power("x", 2)}) == 2
+
+
+class TestFoldConstants:
+    def test_folds_into_coefficient(self):
+        coeff, rest = fold_constants(
+            [Constant(2.0), Identity("x"), Constant(3.0)]
+        )
+        assert coeff == 6.0
+        assert len(rest) == 1 and isinstance(rest[0], Identity)
+
+    def test_empty(self):
+        coeff, rest = fold_constants([])
+        assert coeff == 1.0 and rest == ()
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            fold_constants([Constant(float("nan"))])

@@ -1,0 +1,95 @@
+"""Queries and batches: validation, signatures, dynamic slots."""
+
+import pytest
+
+from repro.query.aggregates import Aggregate, Product
+from repro.query.functions import Delta, Identity
+from repro.query.query import Query, QueryBatch
+
+
+class TestQuery:
+    def test_requires_aggregates(self):
+        with pytest.raises(ValueError):
+            Query("q", [], [])
+
+    def test_duplicate_group_by_rejected(self):
+        with pytest.raises(ValueError):
+            Query("q", ["a", "a"], [Aggregate.count()])
+
+    def test_referenced_attrs(self):
+        q = Query("q", ["g"], [Aggregate.of("x", "y")])
+        assert q.referenced_attrs() == ("g", "x", "y")
+
+    def test_n_aggregates(self):
+        q = Query("q", [], [Aggregate.count(), Aggregate.of("x")])
+        assert q.n_aggregates == 2
+
+
+class TestQueryBatch:
+    def test_duplicate_names_rejected(self):
+        q = Query("same", [], [Aggregate.count()])
+        with pytest.raises(ValueError):
+            QueryBatch([q, Query("same", [], [Aggregate.count()])])
+
+    def test_application_aggregate_count(self):
+        batch = QueryBatch(
+            [
+                Query("a", [], [Aggregate.count(), Aggregate.of("x")]),
+                Query("b", ["g"], [Aggregate.count()]),
+            ]
+        )
+        assert batch.n_application_aggregates == 3
+
+    def test_dynamic_functions_in_batch_order(self):
+        d1 = Delta("x", "<=", 1.0, dynamic=True)
+        d2 = Delta("y", "<=", 2.0, dynamic=True)
+        batch = QueryBatch(
+            [
+                Query("a", [], [Aggregate([Product([d1])])]),
+                Query("b", [], [Aggregate([Product([d2, d1])])]),
+            ]
+        )
+        assert batch.dynamic_functions() == [d1, d2]
+
+    def test_structural_signature_stable_across_values(self):
+        def build(threshold):
+            d = Delta("x", "<=", threshold, dynamic=True)
+            return QueryBatch(
+                [Query("a", [], [Aggregate([Product([d, Identity("y")])])])]
+            )
+
+        assert (
+            build(1.0).structural_signature()
+            == build(42.0).structural_signature()
+        )
+
+    def test_structural_signature_differs_for_static_values(self):
+        def build(threshold):
+            d = Delta("x", "<=", threshold, dynamic=False)
+            return QueryBatch(
+                [Query("a", [], [Aggregate([Product([d])])])]
+            )
+
+        assert (
+            build(1.0).structural_signature()
+            != build(42.0).structural_signature()
+        )
+
+    def test_structural_signature_differs_by_group_by(self):
+        a = QueryBatch([Query("q", ["g"], [Aggregate.count()])])
+        b = QueryBatch([Query("q", ["h"], [Aggregate.count()])])
+        assert a.structural_signature() != b.structural_signature()
+
+    def test_referenced_attrs_deduped(self):
+        batch = QueryBatch(
+            [
+                Query("a", ["g"], [Aggregate.of("x")]),
+                Query("b", ["g"], [Aggregate.of("x", "y")]),
+            ]
+        )
+        assert batch.referenced_attrs() == ("g", "x", "y")
+
+    def test_len_and_iter(self):
+        batch = QueryBatch([Query("a", [], [Aggregate.count()])])
+        assert len(batch) == 1
+        assert [q.name for q in batch] == ["a"]

@@ -1,0 +1,46 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_info_all(self, capsys):
+        assert main(["--scale", "0.05", "info"]) == 0
+        out = capsys.readouterr().out
+        for name in ("retailer", "favorita", "yelp", "tpcds"):
+            assert name in out
+
+    def test_info_single(self, capsys):
+        assert main(["--scale", "0.05", "info", "favorita"]) == 0
+        out = capsys.readouterr().out
+        assert "favorita" in out and "retailer" not in out
+
+    def test_info_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["info", "nonexistent"])
+
+    def test_run_covar(self, capsys):
+        assert main(["--scale", "0.05", "run", "favorita", "covar"]) == 0
+        out = capsys.readouterr().out
+        assert "covar on favorita" in out
+        assert "A+I" in out
+
+    def test_run_cube(self, capsys):
+        assert main(["--scale", "0.05", "run", "yelp", "cube"]) == 0
+        assert "cube on yelp" in capsys.readouterr().out
+
+    def test_plan_mi(self, capsys):
+        assert main(["--scale", "0.05", "plan", "favorita", "mi"]) == 0
+        out = capsys.readouterr().out
+        assert "join tree:" in out and "Table 2 row:" in out
+
+    def test_sql_covar(self, capsys):
+        assert main(["--scale", "0.05", "sql", "favorita", "covar"]) == 0
+        out = capsys.readouterr().out
+        assert "CREATE VIEW" in out and "GROUP BY" in out
+
+    def test_run_rt_node(self, capsys):
+        assert main(["--scale", "0.05", "run", "tpcds", "rt_node"]) == 0
+        assert "rt_node on tpcds" in capsys.readouterr().out
