@@ -1,0 +1,107 @@
+"""Incremental maintenance vs full re-evaluation (the IVM micro-benchmark).
+
+For each bundled dataset this applies insert deltas of 1%/10%/50% of the
+fact relation against a materialized covar workload and compares
+
+* ``IncrementalEngine.apply_delta`` (delta run over the delta partition
+  + distributive merge into the cached views), against
+* full re-evaluation of the same plan over the updated database
+  (planning/compilation excluded from both sides).
+
+Expected shape: maintenance cost scales with the delta, not the
+database, so the speedup is largest at 1% and decays toward parity as
+the delta approaches the relation size.  The hard acceptance bar is a
+>=5x speedup at 1% on the largest bundled dataset; ``results/ivm.txt``
+holds the full grid.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import DeltaBatch, IncrementalEngine
+
+from .common import DATASET_NAMES, Report, covar_workload, dataset
+
+DELTA_FRACTIONS = [0.01, 0.10, 0.50]
+
+_measured = {}
+
+
+def largest_dataset_name() -> str:
+    return max(
+        DATASET_NAMES, key=lambda n: dataset(n).database.total_tuples()
+    )
+
+
+def sample_inserts(rng, relation, n):
+    idx = rng.integers(0, relation.n_rows, n)
+    return {a: relation.column(a)[idx] for a in relation.schema.names}
+
+
+@pytest.mark.parametrize("fraction", DELTA_FRACTIONS)
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_delta_vs_full(name, fraction):
+    ds = dataset(name)
+    engine = IncrementalEngine(ds.database, ds.join_tree)
+    batch = covar_workload(ds)
+    engine.run(batch)  # materialize views; plan+compile cached
+
+    rng = np.random.default_rng(42)
+    t_incremental = []
+    for _ in range(3):
+        fact = engine.database.relation(engine.root)
+        n_delta = max(1, int(fact.n_rows * fraction))
+        report = engine.apply_delta(
+            DeltaBatch.insert(
+                engine.root, sample_inserts(rng, fact, n_delta)
+            )
+        )
+        assert report.all_incremental, report
+        t_incremental.append(report.batches[0].seconds)
+
+    t_full = []
+    for _ in range(3):
+        # refresh() re-executes the cached plan from scratch — the exact
+        # work apply_delta avoids (planning/compilation cached on both
+        # sides)
+        t0 = time.perf_counter()
+        engine.refresh()
+        t_full.append(time.perf_counter() - t0)
+
+    incremental_s = min(t_incremental)
+    full_s = min(t_full)
+    speedup = full_s / incremental_s
+    _measured[(name, fraction)] = (incremental_s, full_s, speedup)
+    # maintenance must never cost meaningfully more than recomputation
+    assert speedup > 0.5, (
+        f"{name} @ {fraction:.0%}: incremental {incremental_s:.4f}s vs "
+        f"full {full_s:.4f}s"
+    )
+
+
+def test_zz_speedup_floor_and_report():
+    report = Report(
+        "ivm",
+        f"{'dataset':10}{'delta':>7}{'incremental s':>15}{'full s':>10}"
+        f"{'speedup':>9}",
+    )
+    for name in DATASET_NAMES:
+        for fraction in DELTA_FRACTIONS:
+            if (name, fraction) not in _measured:
+                continue
+            inc_s, full_s, speedup = _measured[(name, fraction)]
+            report.add(
+                f"{name:10}{fraction:>6.0%}{inc_s:>15.5f}{full_s:>10.5f}"
+                f"{speedup:>8.1f}x"
+            )
+    path = report.write()
+    print(f"\nwrote {path}")
+    largest = largest_dataset_name()
+    if (largest, 0.01) in _measured:
+        _, _, speedup = _measured[(largest, 0.01)]
+        assert speedup >= 5.0, (
+            f"1% delta on {largest} only {speedup:.1f}x faster than full "
+            "re-evaluation"
+        )

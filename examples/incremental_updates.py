@@ -1,0 +1,127 @@
+"""Incremental view maintenance: keep aggregate results live under updates.
+
+Materializes a covar-style workload once, then streams batches of
+inserts and retractions into the fact relation.  Each batch is absorbed
+by re-evaluating the unchanged plan over only the delta rows and merging
+into the cached views — results stay exactly in sync with a from-scratch
+run, at a fraction of the cost.  A final delta against a dimension table
+shows the documented fallback: views consumed elsewhere in the DAG
+cannot merge, so the engine recomputes.
+
+Run:  python examples/incremental_updates.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    Aggregate,
+    DeltaBatch,
+    IncrementalEngine,
+    LMFAO,
+    Query,
+    QueryBatch,
+)
+from repro.datasets import favorita
+
+
+def main() -> None:
+    dataset = favorita(scale=0.3)
+    engine = IncrementalEngine(dataset.database, dataset.join_tree)
+
+    batch = QueryBatch(
+        [
+            Query("rows", [], [Aggregate.count()]),
+            Query(
+                "units_by_store",
+                ["store"],
+                [Aggregate.of("units", name="units"), Aggregate.count(name="n")],
+            ),
+            Query(
+                "units_by_family",
+                ["family"],
+                [Aggregate.of("units", name="units")],
+            ),
+        ]
+    )
+
+    t0 = time.perf_counter()
+    engine.run(batch)
+    materialize_s = time.perf_counter() - t0
+    fact = engine.root
+    print(
+        f"materialized {len(batch)} queries over {dataset.name} "
+        f"in {materialize_s:.4f}s (views rooted at {fact!r})"
+    )
+    # a fair recompute baseline: re-execute the already-planned batch
+    t0 = time.perf_counter()
+    engine.refresh()
+    full_s = time.perf_counter() - t0
+    print(f"deltas that merge without recomputation: "
+          f"{sorted(engine.mergeable_relations(batch))}")
+
+    rng = np.random.default_rng(0)
+    print("\n== streaming ten 1% delta batches into the fact relation ==")
+    maintained_s = 0.0
+    for step in range(10):
+        relation = engine.database.relation(fact)
+        n_delta = max(1, relation.n_rows // 100)
+        sample = rng.integers(0, relation.n_rows, n_delta)
+        inserts = {
+            a: relation.column(a)[sample] for a in relation.schema.names
+        }
+        deletes = rng.choice(relation.n_rows, n_delta // 2, replace=False)
+        report = engine.apply_delta(
+            DeltaBatch(fact, inserts=inserts, delete_indices=deletes)
+        )
+        maintenance = report.batches[0]
+        maintained_s += maintenance.seconds
+        results = engine.run(batch)
+        total = float(results["rows"].column("count")[0])
+        print(
+            f"  batch {step}: +{n_delta}/-{n_delta // 2} rows, "
+            f"{maintenance.mode} in {maintenance.seconds * 1000:6.1f}ms, "
+            f"join now {total:,.0f} rows"
+        )
+
+    print(
+        f"\nten deltas maintained in {maintained_s:.4f}s total vs "
+        f"{full_s:.4f}s for one full re-evaluation "
+        f"({10 * full_s / maintained_s:.1f}x cheaper than recomputing "
+        f"after each batch)"
+    )
+
+    # the maintained results are exact, not approximate
+    reference = LMFAO(
+        engine.database, dataset.join_tree, sort_inputs=False
+    ).run(batch)
+    maintained = engine.run(batch)
+    for query in batch:
+        got = maintained[query.name]
+        want = reference[query.name]
+        assert got.n_rows == want.n_rows
+        for column in got.schema.names:
+            np.testing.assert_allclose(
+                got.column(column), want.column(column), rtol=1e-9
+            )
+    print("maintained results match a from-scratch evaluation exactly")
+
+    print("\n== delta on a dimension relation falls back to recompute ==")
+    dim = next(r.name for r in engine.database if r.name != fact)
+    dim_rel = engine.database.relation(dim)
+    sample = rng.integers(0, dim_rel.n_rows, 3)
+    report = engine.apply_delta(
+        DeltaBatch.insert(
+            dim, {a: dim_rel.column(a)[sample] for a in dim_rel.schema.names}
+        )
+    )
+    maintenance = report.batches[0]
+    print(
+        f"  delta on {dim!r}: {maintenance.mode} in "
+        f"{maintenance.seconds:.4f}s (its views feed the rest of the DAG)"
+    )
+
+
+if __name__ == "__main__":
+    main()

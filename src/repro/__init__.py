@@ -19,8 +19,15 @@ Quickstart::
     results = engine.run(batch)
 """
 
-from .data import Attribute, Database, Relation, Schema, materialize_join
-from .engine import LMFAO, PlanStatistics
+from .data import (
+    Attribute,
+    Database,
+    DeltaBatch,
+    Relation,
+    Schema,
+    materialize_join,
+)
+from .engine import LMFAO, DeltaReport, IncrementalEngine, PlanStatistics
 from .jointree import JoinTree, join_tree_from_database
 from .query import (
     Aggregate,
@@ -40,6 +47,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "LMFAO",
+    "IncrementalEngine",
+    "DeltaBatch",
+    "DeltaReport",
     "PlanStatistics",
     "Database",
     "Relation",

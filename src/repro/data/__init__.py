@@ -1,6 +1,6 @@
 """Relational substrate: schemas, columnar relations, vectorized kernels."""
 
-from .database import Database, materialize_join
+from .database import AppliedDelta, Database, DeltaBatch, materialize_join
 from .relation import Relation
 from .schema import (
     CATEGORICAL,
@@ -18,6 +18,8 @@ __all__ = [
     "Schema",
     "Relation",
     "Database",
+    "DeltaBatch",
+    "AppliedDelta",
     "materialize_join",
     "key",
     "categorical",

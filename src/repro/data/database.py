@@ -7,9 +7,72 @@ constraints (e.g., sizes of relations and attribute domains)" as input;
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 from .relation import Relation
+
+
+@dataclass(frozen=True)
+class DeltaBatch:
+    """A batch of inserts and/or retractions against one relation.
+
+    ``inserts`` maps attribute names to equal-length arrays of new rows;
+    ``delete_indices`` are row positions (in the relation's current row
+    order) to retract.  Either part may be absent.  Use
+    :meth:`Relation.match_rows` to turn value tuples into indices for
+    deletion by value.
+    """
+
+    relation: str
+    inserts: Optional[Mapping[str, np.ndarray]] = None
+    delete_indices: Optional[np.ndarray] = None
+
+    @classmethod
+    def insert(cls, relation: str, columns: Mapping[str, np.ndarray]) -> "DeltaBatch":
+        return cls(relation=relation, inserts=columns)
+
+    @classmethod
+    def delete(cls, relation: str, indices: np.ndarray) -> "DeltaBatch":
+        return cls(relation=relation, delete_indices=indices)
+
+    @property
+    def is_empty(self) -> bool:
+        no_ins = self.inserts is None or all(
+            len(np.asarray(c)) == 0 for c in self.inserts.values()
+        )
+        no_del = (
+            self.delete_indices is None
+            or len(np.asarray(self.delete_indices)) == 0
+        )
+        return no_ins and no_del
+
+    def n_changes(self) -> int:
+        n = 0
+        if self.inserts:
+            n += max(
+                (len(np.asarray(c)) for c in self.inserts.values()),
+                default=0,
+            )
+        if self.delete_indices is not None:
+            n += len(np.unique(np.asarray(self.delete_indices)))
+        return n
+
+
+@dataclass(frozen=True)
+class AppliedDelta:
+    """The result of applying a :class:`DeltaBatch` to a database.
+
+    ``inserted``/``deleted`` are the delta partitions as relations with
+    the original schema — exactly what delta re-evaluation needs.
+    """
+
+    database: "Database"
+    relation: str
+    inserted: Optional[Relation]
+    deleted: Optional[Relation]
 
 
 class Database:
@@ -59,6 +122,38 @@ class Database:
     def with_relation(self, relation: Relation) -> "Database":
         """A new database with an extra relation."""
         return Database(list(self) + [relation], name=self.name)
+
+    # -- updates -----------------------------------------------------------
+
+    def apply_delta(self, delta: DeltaBatch) -> AppliedDelta:
+        """Apply inserts and retractions to one relation.
+
+        Deletions are taken against the *current* row order, before the
+        inserts are appended, so a single batch can both retract old rows
+        and add new ones.  Returns the updated database plus the inserted
+        and deleted partitions for incremental re-evaluation.
+        """
+        relation = self.relation(delta.relation)
+        deleted: Optional[Relation] = None
+        inserted: Optional[Relation] = None
+        if delta.delete_indices is not None and len(
+            np.asarray(delta.delete_indices)
+        ):
+            relation, deleted = relation.delete_rows(delta.delete_indices)
+        if delta.inserts is not None:
+            before = relation.n_rows
+            relation = relation.append_rows(delta.inserts)
+            n_new = relation.n_rows - before
+            if n_new:
+                inserted = relation.take(
+                    np.arange(before, relation.n_rows)
+                )
+        return AppliedDelta(
+            database=self.replace(relation),
+            relation=delta.relation,
+            inserted=inserted,
+            deleted=deleted,
+        )
 
     # -- statistics --------------------------------------------------------
 

@@ -155,6 +155,67 @@ class Relation:
             cols,
         )
 
+    # -- updates ---------------------------------------------------------
+
+    def append_rows(self, columns: Mapping[str, np.ndarray]) -> "Relation":
+        """Relation with extra rows appended (same schema).
+
+        ``columns`` must provide one equal-length array per attribute;
+        dtypes are coerced to the existing column dtypes.
+        """
+        n_new: Optional[int] = None
+        new_cols: Dict[str, np.ndarray] = {}
+        for attr in self.schema:
+            if attr.name not in columns:
+                raise ValueError(
+                    f"append to {self.name!r} missing column {attr.name!r}"
+                )
+            col = np.asarray(columns[attr.name])
+            if n_new is None:
+                n_new = len(col)
+            elif len(col) != n_new:
+                raise ValueError(
+                    f"append to {self.name!r}: column {attr.name!r} has "
+                    f"{len(col)} rows, expected {n_new}"
+                )
+            existing = self._columns[attr.name]
+            new_cols[attr.name] = np.concatenate(
+                [existing, col.astype(existing.dtype, copy=False)]
+            )
+        return Relation(self.name, self.schema, new_cols)
+
+    def delete_rows(self, indices: np.ndarray) -> Tuple["Relation", "Relation"]:
+        """Split off the rows at ``indices``.
+
+        Returns ``(remaining, deleted)``; the deleted partition preserves
+        this relation's schema so it can be re-evaluated as a delta.
+        Indices are deduplicated and must be in range.
+        """
+        idx = np.unique(np.asarray(indices, dtype=np.int64))
+        if len(idx) and (idx[0] < 0 or idx[-1] >= self.n_rows):
+            raise IndexError(
+                f"delete indices out of range for {self.name!r} "
+                f"({self.n_rows} rows)"
+            )
+        keep = np.ones(self.n_rows, dtype=bool)
+        keep[idx] = False
+        return self.filter(keep), self.take(idx)
+
+    def match_rows(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Indices of all rows equal to any of the given key tuples.
+
+        ``columns`` maps a subset of attributes to equal-length arrays of
+        wanted values; every stored row matching one of the value tuples
+        is returned (set semantics over the provided tuples).
+        """
+        if not columns:
+            raise ValueError("match_rows requires at least one column")
+        names = list(columns)
+        own = self.columns(names)
+        wanted = [np.asarray(columns[n]) for n in names]
+        lcodes, rcodes = ops.shared_codes(own, wanted)
+        return np.flatnonzero(ops.semijoin_mask(lcodes, rcodes))
+
     # -- joins and aggregation ------------------------------------------
 
     def join(self, other: "Relation", name: Optional[str] = None) -> "Relation":

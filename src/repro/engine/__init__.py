@@ -3,6 +3,7 @@
 from .engine import LMFAO, BatchResult, EnginePlan
 from .explain import explain
 from .grouping import GroupedPlan, ViewGroup, group_views
+from .ivm import BatchMaintenance, DeltaReport, IncrementalEngine
 from .sql import render_batch_sql
 from .pushdown import DecomposedBatch, Decomposer
 from .roots import assign_roots, possible_roots
@@ -13,6 +14,9 @@ __all__ = [
     "LMFAO",
     "BatchResult",
     "EnginePlan",
+    "IncrementalEngine",
+    "DeltaReport",
+    "BatchMaintenance",
     "PlanStatistics",
     "Decomposer",
     "DecomposedBatch",

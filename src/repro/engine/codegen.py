@@ -112,6 +112,11 @@ def _render_step(step) -> List[str]:
     if isinstance(step, EmitStep):
         keys = step.keys_var if step.keys_var is not None else "[]"
         aggs = ", ".join(step.agg_vars)
+        if step.support_var is not None:
+            return [
+                f"out[{step.view_id}] = ({step.group_by!r}, {keys}, "
+                f"[{aggs}], {step.support_var})"
+            ]
         return [
             f"out[{step.view_id}] = ({step.group_by!r}, {keys}, [{aggs}])"
         ]

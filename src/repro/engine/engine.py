@@ -80,6 +80,16 @@ class LMFAO:
     * ``compile`` — generate + compile specialized code vs interpret;
     * ``n_threads`` — task/domain parallelism (1 = serial);
     * ``sort_inputs`` — sort relations by their attribute orders.
+
+    Two extra knobs serve the incremental-maintenance layer
+    (:mod:`repro.engine.ivm`):
+
+    * ``root`` — force every query to root at one named join-tree node
+      (so that node's view groups become sinks whose outputs merge under
+      deltas);
+    * ``track_support`` — plans additionally maintain a per-group
+      context-row count per view, letting delta merges retire group keys
+      whose support drops to zero.
     """
 
     def __init__(
@@ -94,6 +104,8 @@ class LMFAO:
         n_threads: int = 1,
         sort_inputs: bool = True,
         partition_threshold: int = 20_000,
+        root: Optional[str] = None,
+        track_support: bool = False,
     ):
         self.join_tree = join_tree or join_tree_from_database(database)
         self.database = (
@@ -101,12 +113,19 @@ class LMFAO:
             if sort_inputs
             else database
         )
+        if root is not None and root not in self.join_tree.nodes:
+            raise ValueError(
+                f"root {root!r} is not a join-tree node; nodes are "
+                f"{list(self.join_tree.nodes)}"
+            )
         self.multi_root = multi_root
         self.merge_mode = merge_mode
         self.group_views_enabled = group_views
         self.compile_enabled = compile
         self.n_threads = max(1, int(n_threads))
         self.partition_threshold = partition_threshold
+        self.root = root
+        self.track_support = track_support
         self._plan_cache: Dict[tuple, EnginePlan] = {}
 
     # -- planning -----------------------------------------------------------
@@ -119,15 +138,23 @@ class LMFAO:
             self.merge_mode,
             self.group_views_enabled,
             self.compile_enabled,
+            self.root,
+            self.track_support,
         )
         cached = self._plan_cache.get(cache_key)
         if cached is not None:
             return cached
         dyn_functions = batch.dynamic_functions()
         dyn_slots = {id(f): i for i, f in enumerate(dyn_functions)}
-        roots = assign_roots(
-            batch, self.join_tree, self.database, multi_root=self.multi_root
-        )
+        if self.root is not None:
+            roots = {query.name: self.root for query in batch}
+        else:
+            roots = assign_roots(
+                batch,
+                self.join_tree,
+                self.database,
+                multi_root=self.multi_root,
+            )
         decomposer = Decomposer(
             self.join_tree, merge_mode=self.merge_mode, dyn_slots=dyn_slots
         )
@@ -135,12 +162,21 @@ class LMFAO:
         grouped = group_views(
             decomposed, group_enabled=self.group_views_enabled
         )
+        # support counts only matter where delta merges happen: groups no
+        # other group consumes (the sinks).  Interior groups skip the
+        # extra per-view bincount.
+        consumed = {
+            dep for group in grouped.groups for dep in group.depends_on
+        }
         group_plans = [
             build_group_plan(
                 group,
                 decomposed.views,
                 self.database.relation(group.node),
                 dyn_slots,
+                track_support=(
+                    self.track_support and group.id not in consumed
+                ),
             )
             for group in grouped.groups
         ]
@@ -162,6 +198,17 @@ class LMFAO:
 
     def run(self, batch: QueryBatch) -> BatchResult:
         """Evaluate a batch; returns query name -> result Relation."""
+        result, _, _ = self.run_with_views(batch)
+        return result
+
+    def run_with_views(
+        self, batch: QueryBatch
+    ) -> Tuple[BatchResult, EnginePlan, Dict[int, "ViewData"]]:
+        """Evaluate a batch, also returning the plan and materialized views.
+
+        The view dictionary is what the incremental-maintenance layer
+        caches and patches under deltas.
+        """
         t0 = time.perf_counter()
         plan = self.plan(batch)
         t1 = time.perf_counter()
@@ -172,10 +219,10 @@ class LMFAO:
                 "and execution"
             )
         view_data = self._execute(plan, dyn)
-        result = self._assemble(batch, plan, view_data)
+        result = self.assemble(batch, plan, view_data)
         result.plan_seconds = t1 - t0
         result.execute_seconds = time.perf_counter() - t1
-        return result
+        return result, plan, view_data
 
     def _execute(
         self, plan: EnginePlan, dyn: Sequence
@@ -239,27 +286,40 @@ class LMFAO:
             key_cols = {vid: vd.key_cols for vid, vd in incoming.items()}
             agg_cols = {vid: vd.agg_cols for vid, vd in incoming.items()}
             raw = compiled(rel_cols, relation.n_rows, key_cols, agg_cols, dyn)
-            return {
-                vid: ViewData(
+            out: Dict[int, ViewData] = {}
+            for vid, emitted in raw.items():
+                # support-tracking plans emit (group_by, keys, aggs,
+                # support); plain plans the historical 3-tuple
+                if len(emitted) == 4:
+                    group_by, keys, aggs, support = emitted
+                else:
+                    group_by, keys, aggs = emitted
+                    support = None
+                out[vid] = ViewData(
                     group_by=group_by,
                     key_cols=list(keys),
                     agg_cols=[
                         np.asarray(a, dtype=np.float64) for a in aggs
                     ],
+                    support=(
+                        None
+                        if support is None
+                        else np.asarray(support, dtype=np.float64)
+                    ),
                 )
-                for vid, (group_by, keys, aggs) in raw.items()
-            }
+            return out
 
         return run_compiled
 
     # -- output assembly ------------------------------------------------------
 
-    def _assemble(
+    def assemble(
         self,
         batch: QueryBatch,
         plan: EnginePlan,
         view_data: Dict[int, ViewData],
     ) -> BatchResult:
+        """Assemble per-query result relations from materialized views."""
         result = BatchResult()
         outputs_by_name = {o.query_name: o for o in plan.decomposed.outputs}
         for query in batch:

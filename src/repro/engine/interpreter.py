@@ -36,11 +36,32 @@ class ViewData:
     ``key_cols`` holds one array per group-by attribute (aligned rows, in
     lexicographic key order); ``agg_cols`` one float array per aggregate.
     Scalar views have no key columns and length-1 aggregate arrays.
+
+    ``support`` (optional) counts the context rows contributing to each
+    group key.  Plans built with ``track_support=True`` populate it; the
+    incremental-maintenance layer uses it to drop keys whose support
+    reaches zero after retractions.  Supports are integer-valued floats,
+    so they add and cancel exactly under the distributive-SUM merge.
     """
 
     group_by: Tuple[str, ...]
     key_cols: List[np.ndarray]
     agg_cols: List[np.ndarray]
+    support: Optional[np.ndarray] = None
+
+    def negated(self) -> "ViewData":
+        """This view's data with all sums (and support) sign-flipped.
+
+        A retraction delta is an insertion delta with negated payload:
+        every aggregate is a SUM over context rows, so removed rows
+        contribute the additive inverse of what they contributed.
+        """
+        return ViewData(
+            group_by=self.group_by,
+            key_cols=list(self.key_cols),
+            agg_cols=[-col for col in self.agg_cols],
+            support=None if self.support is None else -self.support,
+        )
 
     @property
     def n_rows(self) -> int:
@@ -111,6 +132,11 @@ def execute_plan(
             )
         elif isinstance(step, EmitStep):
             keys = env[step.keys_var] if step.keys_var is not None else []
+            support = (
+                np.asarray(env[step.support_var], dtype=np.float64)
+                if step.support_var is not None
+                else None
+            )
             produced[step.view_id] = ViewData(
                 group_by=step.group_by,
                 key_cols=list(keys),
@@ -118,10 +144,36 @@ def execute_plan(
                     np.asarray(env[v], dtype=np.float64)
                     for v in step.agg_vars
                 ],
+                support=support,
             )
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown step {step!r}")
     return produced
+
+
+def execute_plan_delta(
+    plan: GroupPlan,
+    delta_relation: Relation,
+    incoming: Dict[int, ViewData],
+    dyn: Sequence,
+    sign: int = 1,
+) -> Dict[int, ViewData]:
+    """Run one group plan over a delta partition of its node relation.
+
+    Every view aggregate is a SUM over context rows, and context rows
+    partition with the node relation's rows (the same property the
+    domain-parallel layer exploits), so evaluating the unchanged plan
+    over only the inserted (``sign=+1``) or deleted (``sign=-1``) rows
+    yields exactly the additive change of each view.  The caller merges
+    the result into cached :class:`ViewData` with
+    :func:`repro.engine.parallel.merge_partials`-style re-aggregation.
+    """
+    if sign not in (1, -1):
+        raise ValueError(f"sign must be +1 or -1, got {sign}")
+    produced = execute_plan(plan, delta_relation, incoming, dyn)
+    if sign == 1:
+        return produced
+    return {vid: vd.negated() for vid, vd in produced.items()}
 
 
 def _gather(step: Gather, relation: Relation, incoming, env) -> np.ndarray:

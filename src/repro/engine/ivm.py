@@ -1,0 +1,319 @@
+"""Incremental view maintenance (IVM) over the LMFAO view DAG.
+
+LMFAO materializes a DAG of aggregate views over a join tree; this layer
+keeps those views — and the query results assembled from them — up to
+date under inserts and retractions of base-relation tuples without
+re-running the full plan.
+
+The maintenance strategy follows the classic delta-query idea (cf.
+Berkholz et al., "Answering FO+MOD queries under updates"): every view
+aggregate is a SUM of per-context-row products, and context rows
+partition with the node relation's rows.  Evaluating the *unchanged*
+group plan over only the delta partition therefore yields exactly the
+additive change of each view, which merges into the cached
+:class:`~repro.engine.interpreter.ViewData` with the same
+distributive-SUM re-aggregation the domain-parallel layer already uses
+(:func:`repro.engine.parallel.merge_partials`).  Retractions are
+insertions with negated payload.
+
+Exact key sets under retraction come from *support counts*: plans built
+with ``track_support=True`` carry a hidden context-row count per group
+key, and a key is retired exactly when its support cancels to zero — so
+maintained views match a from-scratch run key-for-key.
+
+**Fallback semantics.**  The delta of a view is a pure merge only while
+no *other* view consumes it (changed aggregate columns would otherwise
+have to be re-joined upward, where products of changed views break
+additivity).  The engine therefore plans every batch rooted at a single
+designated relation — by default the largest one, where updates land in
+practice — which makes that node's view groups sinks.  A delta against
+the root relation is maintained incrementally; a delta against any other
+relation invalidates views referenced by the rest of the DAG and falls
+back to full recomputation of the affected batch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..data.database import AppliedDelta, Database, DeltaBatch
+from ..jointree.join_tree import JoinTree
+from ..query.query import QueryBatch
+from .engine import LMFAO, BatchResult, EnginePlan
+from .interpreter import ViewData
+from .parallel import merge_partials
+
+
+@dataclass
+class BatchMaintenance:
+    """How one cached batch was brought up to date by ``apply_delta``."""
+
+    queries: Tuple[str, ...]
+    mode: str  # "incremental" or "recompute"
+    seconds: float
+
+
+@dataclass
+class DeltaReport:
+    """What one ``apply_delta`` call did."""
+
+    relations: Tuple[str, ...]
+    n_changes: int
+    batches: List[BatchMaintenance] = field(default_factory=list)
+
+    @property
+    def all_incremental(self) -> bool:
+        return all(b.mode == "incremental" for b in self.batches)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        modes = ", ".join(f"{b.mode}:{b.seconds:.4f}s" for b in self.batches)
+        return (
+            f"DeltaReport({self.n_changes} changes on "
+            f"{list(self.relations)}; [{modes}])"
+        )
+
+
+@dataclass
+class _CachedBatch:
+    """A materialized batch: plan + live view data + bound dyn table."""
+
+    batch: QueryBatch
+    plan: EnginePlan
+    view_data: Dict[int, ViewData]
+    dyn: Sequence
+
+
+class IncrementalEngine:
+    """An :class:`LMFAO` facade that maintains results under updates.
+
+    Usage::
+
+        engine = IncrementalEngine(dataset.database, dataset.join_tree)
+        results = engine.run(batch)                  # full evaluation
+        report = engine.apply_delta(
+            DeltaBatch.insert("Sales", new_rows),
+        )
+        updated = engine.run(batch)                  # served from views
+
+    ``root`` names the relation whose deltas are maintained by merging
+    (all queries are planned rooted there); it defaults to the largest
+    relation.  Deltas against any other relation trigger a full
+    recomputation of every cached batch (see the module docstring for
+    why).  Input relations are kept in user row order (``sort_inputs``
+    is off) so ``DeltaBatch.delete_indices`` always refer to the row
+    numbering the caller observes.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        join_tree: Optional[JoinTree] = None,
+        *,
+        root: Optional[str] = None,
+        compile: bool = True,
+        n_threads: int = 1,
+        partition_threshold: int = 20_000,
+    ):
+        if root is None:
+            root = max(database, key=lambda r: r.n_rows).name
+        self.engine = LMFAO(
+            database,
+            join_tree,
+            root=root,
+            track_support=True,
+            sort_inputs=False,
+            compile=compile,
+            n_threads=n_threads,
+            partition_threshold=partition_threshold,
+        )
+        self.root = root
+        self._cache: Dict[tuple, _CachedBatch] = {}
+
+    # -- catalog ------------------------------------------------------------
+
+    @property
+    def database(self) -> Database:
+        """The current (updated) database."""
+        return self.engine.database
+
+    @property
+    def n_cached_batches(self) -> int:
+        return len(self._cache)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def run(self, batch: QueryBatch) -> BatchResult:
+        """Evaluate a batch, serving from maintained views when possible.
+
+        The first run of a batch materializes and caches its views; after
+        that, results are assembled straight from the (delta-maintained)
+        cache until the batch object changes.
+        """
+        key = batch.structural_signature()
+        entry = self._cache.get(key)
+        if entry is not None and entry.batch is batch:
+            t0 = time.perf_counter()
+            result = self.engine.assemble(batch, entry.plan, entry.view_data)
+            result.execute_seconds = time.perf_counter() - t0
+            return result
+        result, plan, view_data = self.engine.run_with_views(batch)
+        self._cache[key] = _CachedBatch(
+            batch=batch,
+            plan=plan,
+            view_data=view_data,
+            dyn=batch.dynamic_functions(),
+        )
+        return result
+
+    def refresh(self) -> None:
+        """Recompute every cached batch from scratch.
+
+        Useful to squash accumulated floating-point residue after long
+        delta sequences, or after out-of-band database changes.
+        """
+        for entry in self._cache.values():
+            entry.view_data = self.engine._execute(entry.plan, entry.dyn)
+
+    # -- incremental maintenance ----------------------------------------------
+
+    def apply_delta(self, *deltas: DeltaBatch) -> DeltaReport:
+        """Apply inserts/retractions and bring cached batches up to date.
+
+        Deltas are applied to the database sequentially (delete indices
+        of later deltas see the row order left by earlier ones).  Cached
+        batches whose view DAG admits a pure merge are patched in place;
+        the rest are fully recomputed.
+        """
+        applied: List[AppliedDelta] = []
+        database = self.engine.database
+        for delta in deltas:
+            if delta.is_empty:
+                continue
+            step = database.apply_delta(delta)
+            database = step.database
+            applied.append(step)
+        report = DeltaReport(
+            relations=tuple(
+                dict.fromkeys(step.relation for step in applied)
+            ),
+            n_changes=sum(
+                (0 if step.inserted is None else step.inserted.n_rows)
+                + (0 if step.deleted is None else step.deleted.n_rows)
+                for step in applied
+            ),
+        )
+        if not applied:
+            return report
+        self.engine.database = database
+        for entry in self._cache.values():
+            t0 = time.perf_counter()
+            if self._mergeable(entry, report.relations):
+                for step in applied:
+                    self._merge_delta(entry, step)
+                mode = "incremental"
+            else:
+                entry.view_data = self.engine._execute(entry.plan, entry.dyn)
+                mode = "recompute"
+            report.batches.append(
+                BatchMaintenance(
+                    queries=tuple(q.name for q in entry.batch),
+                    mode=mode,
+                    seconds=time.perf_counter() - t0,
+                )
+            )
+        return report
+
+    def mergeable_relations(self, batch: QueryBatch) -> Set[str]:
+        """Relations whose deltas this batch absorbs without recomputation."""
+        return self._sink_nodes(self.engine.plan(batch))
+
+    def forget(self, batch: QueryBatch) -> bool:
+        """Drop a batch's cached plan + views; returns whether it was cached.
+
+        Forgotten batches stop being maintained (and paid for) by
+        ``apply_delta``; the next ``run`` re-materializes from scratch.
+        """
+        return self._cache.pop(batch.structural_signature(), None) is not None
+
+    def clear_cache(self) -> None:
+        """Drop every cached batch."""
+        self._cache.clear()
+
+    # -- internals -------------------------------------------------------------
+
+    @staticmethod
+    def _sink_nodes(plan: EnginePlan) -> Set[str]:
+        """Nodes all of whose view groups no other group consumes.
+
+        Only such a node's views can absorb a delta by pure merging; a
+        relation with no groups at all is *not* a sink (it still joins
+        into views computed elsewhere).
+        """
+        consumed = {
+            dep for group in plan.grouped.groups for dep in group.depends_on
+        }
+        by_node: Dict[str, List] = {}
+        for group in plan.grouped.groups:
+            by_node.setdefault(group.node, []).append(group)
+        return {
+            node
+            for node, groups in by_node.items()
+            if all(g.id not in consumed for g in groups)
+        }
+
+    def _mergeable(
+        self, entry: _CachedBatch, relations: Sequence[str]
+    ) -> bool:
+        """True when every changed relation's groups are DAG sinks."""
+        return set(relations) <= self._sink_nodes(entry.plan)
+
+    def _merge_delta(self, entry: _CachedBatch, step: AppliedDelta) -> None:
+        """Patch one cached batch's views with one applied delta."""
+        plan = entry.plan
+        for group in plan.grouped.groups:
+            if group.node != step.relation:
+                continue
+            group_plan = plan.group_plans[group.id]
+            incoming = {
+                vid: entry.view_data[vid]
+                for vid in group_plan.input_view_ids
+            }
+            runner = self.engine._runner(plan, group.id)
+            parts: List[Dict[int, ViewData]] = [
+                {vid: entry.view_data[vid] for vid in group.view_ids}
+            ]
+            if step.inserted is not None and step.inserted.n_rows:
+                parts.append(runner(step.inserted, incoming, entry.dyn))
+            if step.deleted is not None and step.deleted.n_rows:
+                removed = runner(step.deleted, incoming, entry.dyn)
+                parts.append(
+                    {vid: vd.negated() for vid, vd in removed.items()}
+                )
+            if len(parts) == 1:
+                continue
+            merged = merge_partials(parts)
+            for vid, view in merged.items():
+                entry.view_data[vid] = _retire_dead_keys(view)
+
+
+def _retire_dead_keys(view: ViewData) -> ViewData:
+    """Drop group keys whose support cancelled to zero.
+
+    Supports are integer-valued floats maintained purely by addition, so
+    the zero test is exact; a key's support hits zero exactly when every
+    context row that produced it has been retracted — the same condition
+    under which a from-scratch run would not emit the key at all.
+    """
+    if view.support is None or not view.group_by:
+        return view
+    alive = view.support > 0.5
+    if bool(alive.all()):
+        return view
+    return ViewData(
+        group_by=view.group_by,
+        key_cols=[col[alive] for col in view.key_cols],
+        agg_cols=[col[alive] for col in view.agg_cols],
+        support=view.support[alive],
+    )

@@ -58,7 +58,11 @@ def run_partitioned(
 
 
 def merge_partials(partials: List[Dict[int, ViewData]]) -> Dict[int, ViewData]:
-    """Merge per-partition view outputs by grouped re-aggregation."""
+    """Merge per-partition view outputs by grouped re-aggregation.
+
+    Support counts (when every piece tracks them) merge like any other
+    SUM column; they are integer-valued, so partition counts add exactly.
+    """
     merged: Dict[int, ViewData] = {}
     view_ids = {vid for partial in partials for vid in partial}
     for vid in sorted(view_ids):
@@ -76,6 +80,7 @@ def merge_partials(partials: List[Dict[int, ViewData]]) -> Dict[int, ViewData]:
                 group_by=first.group_by, key_cols=[], agg_cols=agg_cols
             )
             continue
+        with_support = all(p.support is not None for p in pieces)
         key_cols = [
             np.concatenate([p.key_cols[k] for p in pieces])
             for k in range(len(first.key_cols))
@@ -84,8 +89,14 @@ def merge_partials(partials: List[Dict[int, ViewData]]) -> Dict[int, ViewData]:
             np.concatenate([p.agg_cols[i] for p in pieces])
             for i in range(len(first.agg_cols))
         ]
+        if with_support:
+            value_cols.append(np.concatenate([p.support for p in pieces]))
         keys, sums = ops.group_aggregate(key_cols, value_cols)
+        support = sums.pop() if with_support else None
         merged[vid] = ViewData(
-            group_by=first.group_by, key_cols=list(keys), agg_cols=list(sums)
+            group_by=first.group_by,
+            key_cols=list(keys),
+            agg_cols=list(sums),
+            support=support,
         )
     return merged

@@ -135,12 +135,18 @@ class ScalarViewStep:
 
 @dataclass(frozen=True)
 class EmitStep:
-    """Assemble one output view from key columns + aggregate columns."""
+    """Assemble one output view from key columns + aggregate columns.
+
+    ``support_var`` optionally names a per-group context-row count used by
+    incremental maintenance to retire group keys whose support reaches
+    zero after retractions (``None`` when support is not tracked).
+    """
 
     view_id: int
     group_by: Tuple[str, ...]
     keys_var: Optional[str]  # var of GroupKeyStep.out_keys, None if scalar
     agg_vars: Tuple[str, ...]
+    support_var: Optional[str] = None
 
 
 Step = object  # union of the dataclasses above
@@ -203,12 +209,14 @@ class GroupPlanBuilder:
         views: Sequence[View],
         relation_attrs: Sequence[str],
         dyn_slots: Dict[int, int],
+        track_support: bool = False,
     ):
         self.group = group
         self.views = views
         self.node = group.node
         self.relation_attrs = tuple(relation_attrs)
         self.dyn_slots = dyn_slots  # id(function) -> slot
+        self.track_support = track_support
         self.steps: List[Step] = []
         self._var_count = 0
         self._contexts: Dict[Tuple[int, ...], _Context] = {}
@@ -244,6 +252,8 @@ class GroupPlanBuilder:
     def _build_view(self, view: View) -> None:
         agg_vars: List[str] = []
         keys_var: Optional[str] = None
+        codes_var: Optional[str] = None
+        last_ctx: Optional[_Context] = None
         for spec in view.aggregates:
             joinable = []
             scalar_refs = []
@@ -265,6 +275,7 @@ class GroupPlanBuilder:
             if view.group_by:
                 codes_var, keys = self._group_keys(ctx, view.group_by)
                 keys_var = keys
+                last_ctx = ctx
                 out = self._new_var("agg")
                 self.steps.append(
                     GroupSumStep(
@@ -291,12 +302,29 @@ class GroupPlanBuilder:
                     )
                 )
             agg_vars.append(out)
+        support_var: Optional[str] = None
+        if self.track_support and keys_var is not None and last_ctx is not None:
+            # context-row count per emitted group key: the multiplicity
+            # incremental maintenance needs to retire keys on retraction
+            support_var = self._new_var("sup")
+            self.steps.append(
+                GroupSumStep(
+                    out=support_var,
+                    codes=codes_var,
+                    keys=keys_var,
+                    values=None,
+                    n_var=last_ctx.n_var,
+                    coefficient=1.0,
+                    scalar_vars=(),
+                )
+            )
         self.steps.append(
             EmitStep(
                 view_id=view.id,
                 group_by=view.group_by,
                 keys_var=keys_var,
                 agg_vars=tuple(agg_vars),
+                support_var=support_var,
             )
         )
 
@@ -515,6 +543,7 @@ def build_group_plan(
     views: Sequence[View],
     relation: Relation,
     dyn_slots: Dict[int, int],
+    track_support: bool = False,
 ) -> GroupPlan:
     """Build the multi-output plan for one view group."""
     builder = GroupPlanBuilder(
@@ -522,5 +551,6 @@ def build_group_plan(
         views=views,
         relation_attrs=relation.schema.names,
         dyn_slots=dyn_slots,
+        track_support=track_support,
     )
     return builder.build()

@@ -1,0 +1,380 @@
+"""Incremental view maintenance: differential tests against recomputation.
+
+Every test asserts the same contract: after any sequence of
+``apply_delta`` calls, the incremental engine's results have *exactly*
+the group keys a from-scratch evaluation of the updated database
+produces, and aggregate values that agree to floating-point roundoff
+(sums are re-associated by the merge, so the last few ulps may differ).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Aggregate,
+    DeltaBatch,
+    IncrementalEngine,
+    LMFAO,
+    Query,
+    QueryBatch,
+)
+from repro.data.database import AppliedDelta
+
+from .helpers import assert_results_equal
+
+
+def simple_batch(extra_group_by):
+    """A small mixed batch: scalar count + grouped sums."""
+    queries = [
+        Query("n", [], [Aggregate.count()]),
+        Query(
+            "by_key",
+            list(extra_group_by),
+            [Aggregate.count(name="cnt")],
+        ),
+    ]
+    return QueryBatch(queries)
+
+
+def covar_batch(ds):
+    from repro.ml import CovarBatch
+
+    label = ds.label
+    if ds.database.attribute_kind(label) != "continuous":
+        label = ds.continuous_features[0]
+    continuous = [f for f in ds.continuous_features if f != label]
+    return CovarBatch(continuous, ds.categorical_features, label).batch
+
+
+def reference_results(engine, batch):
+    """From-scratch evaluation of the engine's current database."""
+    ref = LMFAO(
+        engine.database,
+        engine.engine.join_tree,
+        sort_inputs=False,
+    )
+    return ref.run(batch)
+
+
+def sample_inserts(rng, relation, n):
+    """n new rows drawn (with replacement) from existing rows."""
+    idx = rng.integers(0, relation.n_rows, n)
+    return {a: relation.column(a)[idx] for a in relation.schema.names}
+
+
+DATASET_FIXTURES = [
+    "tiny_retailer",
+    "tiny_favorita",
+    "tiny_yelp",
+    "tiny_tpcds",
+]
+
+
+@pytest.fixture(params=DATASET_FIXTURES)
+def any_dataset(request):
+    return request.getfixturevalue(request.param)
+
+
+class TestDeltaBatchApi:
+    def test_insert_appends_rows(self, toy_db):
+        applied = toy_db.apply_delta(
+            DeltaBatch.insert(
+                "Oil", {"date": np.array([100]), "price": np.array([9.5])}
+            )
+        )
+        assert isinstance(applied, AppliedDelta)
+        assert applied.database.relation("Oil").n_rows == 26
+        assert applied.inserted.n_rows == 1
+        assert applied.deleted is None
+
+    def test_delete_splits_rows(self, toy_db):
+        applied = toy_db.apply_delta(
+            DeltaBatch.delete("Oil", np.array([0, 2, 2]))
+        )
+        assert applied.database.relation("Oil").n_rows == 23
+        assert applied.deleted.n_rows == 2  # indices deduplicated
+        assert applied.inserted is None
+
+    def test_delete_out_of_range_raises(self, toy_db):
+        with pytest.raises(IndexError):
+            toy_db.apply_delta(DeltaBatch.delete("Oil", np.array([99])))
+
+    def test_mixed_deletes_before_inserts(self, toy_db):
+        oil = toy_db.relation("Oil")
+        applied = toy_db.apply_delta(
+            DeltaBatch(
+                "Oil",
+                inserts={
+                    "date": np.array([100, 101]),
+                    "price": np.array([1.0, 2.0]),
+                },
+                delete_indices=np.array([5]),
+            )
+        )
+        assert applied.database.relation("Oil").n_rows == oil.n_rows + 1
+        assert applied.deleted.column("date").tolist() == [5]
+        assert applied.inserted.column("date").tolist() == [100, 101]
+
+    def test_empty_delta(self):
+        assert DeltaBatch("Oil").is_empty
+        assert DeltaBatch("Oil", inserts={"date": np.array([])}).is_empty
+        assert not DeltaBatch.delete("Oil", np.array([1])).is_empty
+
+    def test_match_rows(self, toy_db):
+        oil = toy_db.relation("Oil")
+        idx = oil.match_rows({"date": np.array([3, 7])})
+        assert oil.column("date")[idx].tolist() == [3, 7]
+
+
+class TestIncrementalMatchesRecomputation:
+    """apply_delta == full recomputation on all four bundled datasets."""
+
+    def _delta_roundtrip(self, ds, deltas_fn, batch=None):
+        engine = IncrementalEngine(ds.database, ds.join_tree)
+        fact = engine.root
+        if batch is None:
+            group_attr = ds.categorical_features[0]
+            batch = simple_batch([group_attr])
+        engine.run(batch)
+        rng = np.random.default_rng(0)
+        report = engine.apply_delta(
+            *deltas_fn(rng, engine.database.relation(fact))
+        )
+        got = engine.run(batch)
+        expected = reference_results(engine, batch)
+        assert_results_equal(got, expected, batch, rtol=1e-9, atol=1e-9)
+        return report
+
+    def test_inserts(self, any_dataset):
+        def deltas(rng, fact):
+            return [
+                DeltaBatch.insert(
+                    fact.name, sample_inserts(rng, fact, fact.n_rows // 20)
+                )
+            ]
+
+        report = self._delta_roundtrip(any_dataset, deltas)
+        assert report.all_incremental
+
+    def test_deletes(self, any_dataset):
+        def deltas(rng, fact):
+            idx = rng.choice(fact.n_rows, fact.n_rows // 20, replace=False)
+            return [DeltaBatch.delete(fact.name, idx)]
+
+        report = self._delta_roundtrip(any_dataset, deltas)
+        assert report.all_incremental
+
+    def test_mixed(self, any_dataset):
+        def deltas(rng, fact):
+            idx = rng.choice(fact.n_rows, fact.n_rows // 30, replace=False)
+            return [
+                DeltaBatch(
+                    fact.name,
+                    inserts=sample_inserts(rng, fact, fact.n_rows // 30),
+                    delete_indices=idx,
+                )
+            ]
+
+        report = self._delta_roundtrip(any_dataset, deltas)
+        assert report.all_incremental
+
+    def test_empty_delta_is_noop(self, any_dataset):
+        def deltas(rng, fact):
+            return [DeltaBatch(fact.name)]
+
+        report = self._delta_roundtrip(any_dataset, deltas)
+        assert report.n_changes == 0
+        assert report.batches == []
+
+    def test_covar_workload(self, tiny_favorita):
+        ds = tiny_favorita
+        batch = covar_batch(ds)
+
+        def deltas(rng, fact):
+            idx = rng.choice(fact.n_rows, fact.n_rows // 50, replace=False)
+            return [
+                DeltaBatch(
+                    fact.name,
+                    inserts=sample_inserts(rng, fact, fact.n_rows // 50),
+                    delete_indices=idx,
+                )
+            ]
+
+        report = self._delta_roundtrip(ds, deltas, batch=batch)
+        assert report.all_incremental
+
+
+class TestExecutePlanDelta:
+    """The interpreter-level delta primitive used by delta evaluation."""
+
+    def test_negated_run_is_sign_flip(self, toy_db):
+        from repro.engine.interpreter import execute_plan, execute_plan_delta
+
+        engine = LMFAO(
+            toy_db, sort_inputs=False, root="Sales", track_support=True,
+            compile=False,
+        )
+        batch = simple_batch(["city"])
+        plan = engine.plan(batch)
+        view_data = engine._execute(plan, [])
+        group = next(
+            g for g in plan.grouped.groups if g.node == "Sales"
+        )
+        group_plan = plan.group_plans[group.id]
+        incoming = {
+            vid: view_data[vid] for vid in group_plan.input_view_ids
+        }
+        part = toy_db.relation("Sales").take(np.arange(10))
+        plus = execute_plan(group_plan, part, incoming, [])
+        minus = execute_plan_delta(group_plan, part, incoming, [], sign=-1)
+        assert set(plus) == set(minus)
+        for vid in plus:
+            for got, want in zip(minus[vid].agg_cols, plus[vid].agg_cols):
+                np.testing.assert_array_equal(got, -want)
+            if plus[vid].support is not None:
+                np.testing.assert_array_equal(
+                    minus[vid].support, -plus[vid].support
+                )
+
+    def test_bad_sign_rejected(self, toy_db):
+        from repro.engine.interpreter import execute_plan_delta
+
+        with pytest.raises(ValueError):
+            execute_plan_delta(None, None, {}, [], sign=0)
+
+
+class TestKeyRetirement:
+    def test_deleting_all_rows_of_a_key_drops_it(self, tiny_favorita):
+        ds = tiny_favorita
+        engine = IncrementalEngine(ds.database, ds.join_tree)
+        fact = engine.root
+        batch = simple_batch(["store"])
+        engine.run(batch)
+        store_col = engine.database.relation(fact).column("store")
+        victim = int(store_col[0])
+        idx = np.flatnonzero(store_col == victim)
+        report = engine.apply_delta(DeltaBatch.delete(fact, idx))
+        assert report.all_incremental
+        got = engine.run(batch)
+        assert victim not in got["by_key"].column("store")
+        expected = reference_results(engine, batch)
+        assert_results_equal(got, expected, batch)
+
+    def test_deleting_everything_empties_results(self, toy_db):
+        engine = IncrementalEngine(toy_db)
+        batch = simple_batch(["store"])
+        engine.run(batch)
+        fact = engine.root
+        n = engine.database.relation(fact).n_rows
+        report = engine.apply_delta(DeltaBatch.delete(fact, np.arange(n)))
+        assert report.all_incremental
+        got = engine.run(batch)
+        assert got["by_key"].n_rows == 0
+        assert got["n"].column("count")[0] == 0.0
+
+
+class TestFallback:
+    def test_non_root_delta_recomputes(self, tiny_favorita):
+        ds = tiny_favorita
+        engine = IncrementalEngine(ds.database, ds.join_tree)
+        batch = simple_batch([ds.categorical_features[0]])
+        engine.run(batch)
+        dim = next(r.name for r in engine.database if r.name != engine.root)
+        dim_rel = engine.database.relation(dim)
+        rng = np.random.default_rng(1)
+        report = engine.apply_delta(
+            DeltaBatch.insert(dim, sample_inserts(rng, dim_rel, 3))
+        )
+        assert not report.all_incremental
+        assert report.batches[0].mode == "recompute"
+        got = engine.run(batch)
+        expected = reference_results(engine, batch)
+        assert_results_equal(got, expected, batch)
+
+    def test_mergeable_relations_is_the_root_only(self, tiny_retailer):
+        ds = tiny_retailer
+        engine = IncrementalEngine(ds.database, ds.join_tree)
+        batch = simple_batch([ds.categorical_features[0]])
+        assert engine.mergeable_relations(batch) == {engine.root}
+
+
+class TestRandomDeltaSequences:
+    """Property-style: arbitrary insert/delete interleavings stay exact."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sequence_matches_recomputation(self, tiny_yelp, seed):
+        ds = tiny_yelp
+        engine = IncrementalEngine(ds.database, ds.join_tree)
+        fact = engine.root
+        batch = simple_batch([ds.categorical_features[0]])
+        engine.run(batch)
+        rng = np.random.default_rng(seed)
+        for _ in range(6):
+            relation = engine.database.relation(fact)
+            op = rng.integers(0, 3)
+            if op == 0:
+                delta = DeltaBatch.insert(
+                    fact,
+                    sample_inserts(
+                        rng, relation, int(rng.integers(1, 40))
+                    ),
+                )
+            elif op == 1:
+                size = int(
+                    rng.integers(1, max(2, relation.n_rows // 10))
+                )
+                idx = rng.choice(relation.n_rows, size, replace=False)
+                delta = DeltaBatch.delete(fact, idx)
+            else:
+                size = int(
+                    rng.integers(1, max(2, relation.n_rows // 20))
+                )
+                delta = DeltaBatch(
+                    fact,
+                    inserts=sample_inserts(
+                        rng, relation, int(rng.integers(1, 30))
+                    ),
+                    delete_indices=rng.choice(
+                        relation.n_rows, size, replace=False
+                    ),
+                )
+            report = engine.apply_delta(delta)
+            assert report.all_incremental
+            got = engine.run(batch)
+            expected = reference_results(engine, batch)
+            assert_results_equal(got, expected, batch, rtol=1e-8, atol=1e-8)
+
+    def test_forget_stops_maintenance(self, tiny_yelp):
+        ds = tiny_yelp
+        engine = IncrementalEngine(ds.database, ds.join_tree)
+        batch = simple_batch([ds.categorical_features[0]])
+        engine.run(batch)
+        assert engine.n_cached_batches == 1
+        assert engine.forget(batch)
+        assert not engine.forget(batch)  # already gone
+        assert engine.n_cached_batches == 0
+        report = engine.apply_delta(
+            DeltaBatch.delete(engine.root, np.array([0]))
+        )
+        assert report.batches == []  # nothing cached, nothing maintained
+        got = engine.run(batch)  # re-materializes against the updated db
+        expected = reference_results(engine, batch)
+        assert_results_equal(got, expected, batch)
+        engine.clear_cache()
+        assert engine.n_cached_batches == 0
+
+    def test_refresh_squashes_drift(self, tiny_yelp):
+        ds = tiny_yelp
+        engine = IncrementalEngine(ds.database, ds.join_tree)
+        batch = simple_batch([ds.categorical_features[0]])
+        engine.run(batch)
+        fact = engine.root
+        rng = np.random.default_rng(9)
+        relation = engine.database.relation(fact)
+        engine.apply_delta(
+            DeltaBatch.insert(fact, sample_inserts(rng, relation, 25))
+        )
+        engine.refresh()
+        got = engine.run(batch)
+        expected = reference_results(engine, batch)
+        assert_results_equal(got, expected, batch)

@@ -51,6 +51,107 @@ class TestMergePartials:
         assert merged[1].key_cols[0].tolist() == [1, 3, 5]
 
 
+class TestMergePartialsEdgeCases:
+    """The merge primitive IVM relies on: degenerate partition shapes."""
+
+    def test_no_partitions(self):
+        assert merge_partials([]) == {}
+
+    def test_all_partitions_empty(self):
+        assert merge_partials([{}, {}, {}]) == {}
+
+    def test_single_partition_grouped_reaggregates_to_itself(self):
+        part = {
+            2: ViewData(
+                ("g",), [np.array([1, 4])], [np.array([3.0, 9.0])]
+            )
+        }
+        merged = merge_partials([part])
+        assert merged[2].key_cols[0].tolist() == [1, 4]
+        assert merged[2].agg_cols[0].tolist() == [3.0, 9.0]
+
+    def test_single_partition_scalar(self):
+        part = {0: ViewData((), [], [np.array([4.5])])}
+        merged = merge_partials([part])
+        assert merged[0].agg_cols[0].tolist() == [4.5]
+
+    def test_disjoint_group_keys_concatenate(self):
+        part1 = {1: ViewData(("g",), [np.array([0, 1])], [np.array([1.0, 2.0])])}
+        part2 = {1: ViewData(("g",), [np.array([5, 9])], [np.array([3.0, 4.0])])}
+        merged = merge_partials([part1, part2])
+        assert merged[1].key_cols[0].tolist() == [0, 1, 5, 9]
+        assert merged[1].agg_cols[0].tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_fully_overlapping_group_keys_sum(self):
+        part1 = {1: ViewData(("g",), [np.array([0, 1])], [np.array([1.0, 2.0])])}
+        part2 = {1: ViewData(("g",), [np.array([0, 1])], [np.array([10.0, 20.0])])}
+        merged = merge_partials([part1, part2])
+        assert merged[1].key_cols[0].tolist() == [0, 1]
+        assert merged[1].agg_cols[0].tolist() == [11.0, 22.0]
+
+    def test_composite_keys_align_by_tuple(self):
+        part1 = {
+            1: ViewData(
+                ("a", "b"),
+                [np.array([0, 0]), np.array([0, 1])],
+                [np.array([1.0, 2.0])],
+            )
+        }
+        part2 = {
+            1: ViewData(
+                ("a", "b"),
+                [np.array([0, 1]), np.array([1, 0])],
+                [np.array([5.0, 7.0])],
+            )
+        }
+        merged = merge_partials([part1, part2])
+        table = dict(
+            zip(
+                zip(
+                    merged[1].key_cols[0].tolist(),
+                    merged[1].key_cols[1].tolist(),
+                ),
+                merged[1].agg_cols[0].tolist(),
+            )
+        )
+        assert table == {(0, 0): 1.0, (0, 1): 7.0, (1, 0): 7.0}
+
+    def test_support_merges_like_a_sum_column(self):
+        part1 = {
+            1: ViewData(
+                ("g",),
+                [np.array([0, 1])],
+                [np.array([1.0, 2.0])],
+                support=np.array([2.0, 1.0]),
+            )
+        }
+        part2 = {
+            1: ViewData(
+                ("g",),
+                [np.array([1])],
+                [np.array([-2.0])],
+                support=np.array([-1.0]),
+            )
+        }
+        merged = merge_partials([part1, part2])
+        assert merged[1].support.tolist() == [2.0, 0.0]
+        assert merged[1].agg_cols[0].tolist() == [1.0, 0.0]
+
+    def test_support_dropped_when_any_piece_lacks_it(self):
+        part1 = {
+            1: ViewData(
+                ("g",),
+                [np.array([0])],
+                [np.array([1.0])],
+                support=np.array([1.0]),
+            )
+        }
+        part2 = {1: ViewData(("g",), [np.array([0])], [np.array([1.0])])}
+        merged = merge_partials([part1, part2])
+        assert merged[1].support is None
+        assert merged[1].agg_cols[0].tolist() == [2.0]
+
+
 class TestThreadedEngine:
     @pytest.mark.parametrize("n_threads", [2, 4])
     def test_agrees_with_serial(self, toy_db, n_threads):
