@@ -17,6 +17,8 @@ from repro import LMFAO
 
 from .common import Report, covar_workload, dataset
 
+pytestmark = pytest.mark.slow
+
 DATASETS = ["retailer", "yelp"]
 
 CONFIGS = [

@@ -1,0 +1,159 @@
+"""Backend comparison: interpreter / compiled / +threads / process.
+
+Times the covar workload (the paper's regression-matrix batch) on the
+largest bundled dataset under the four executor configurations and
+writes ``BENCH_backends.json`` at the repo root with wall-clock seconds
+and speedup ratios.
+
+Expected shape: compilation wins over interpretation by cutting
+per-step dispatch; threads add little on the compiled path (the
+generated Python loops hold the GIL); processes restore the
+compilation x parallelism multiplication the paper gets from C++ —
+**provided the host has cores to parallelize over**.  The >=1.5x
+process-vs-compiled acceptance bar therefore only binds on hosts with
+at least 4 usable cores (on 1-2 core hosts — laptops, small CI runners —
+the theoretical ceiling is too close to the transport overhead to
+assert against); below that the measured ratio is recorded as-is and
+the bar is skipped.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import LMFAO
+
+from tests.engine.helpers import assert_results_equal
+
+from .common import RESULTS_DIR, BENCH_SCALE, covar_workload, dataset
+
+pytestmark = pytest.mark.slow
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_backends.json")
+
+PARTITION_THRESHOLD = 5_000  # engage domain parallelism at bench scale
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+N_WORKERS = max(2, min(4, usable_cpus()))
+
+#: the >=1.5x process-vs-compiled bar only binds with this many cores
+BAR_MIN_CPUS = 4
+
+CONFIGS = {
+    "interpreter": dict(compile=False),
+    "compiled": dict(compile=True),
+    "compiled_threads": dict(
+        compile=True,
+        n_threads=N_WORKERS,
+        partition_threshold=PARTITION_THRESHOLD,
+    ),
+    "process": dict(
+        backend="process",
+        n_threads=N_WORKERS,
+        partition_threshold=PARTITION_THRESHOLD,
+    ),
+}
+
+
+def largest_dataset_name() -> str:
+    from .common import DATASET_NAMES
+
+    return max(
+        DATASET_NAMES, key=lambda n: dataset(n).database.total_tuples()
+    )
+
+
+def time_config(ds, batch, repeats=3, **engine_kwargs):
+    with LMFAO(ds.database, ds.join_tree, **engine_kwargs) as engine:
+        engine.plan(batch)  # plan + compile outside the timing
+        best, results = float("inf"), None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            results = engine.run(batch)
+            best = min(best, time.perf_counter() - start)
+    return best, results
+
+
+def test_backend_comparison():
+    name = largest_dataset_name()
+    ds = dataset(name)
+    batch = covar_workload(ds)
+
+    seconds, outputs = {}, {}
+    for config, kwargs in CONFIGS.items():
+        seconds[config], outputs[config] = time_config(ds, batch, **kwargs)
+
+    # all executor configurations must agree with the interpreter
+    for config in CONFIGS:
+        if config != "interpreter":
+            assert_results_equal(
+                outputs[config], outputs["interpreter"], batch, rtol=1e-8
+            )
+
+    speedup_vs_interpreter = {
+        config: seconds["interpreter"] / s for config, s in seconds.items()
+    }
+    process_vs_compiled = seconds["compiled"] / seconds["process"]
+    report = {
+        "dataset": name,
+        "workload": "covar",
+        "scale": BENCH_SCALE,
+        "usable_cpus": usable_cpus(),
+        "workers": N_WORKERS,
+        "partition_threshold": PARTITION_THRESHOLD,
+        "seconds": {k: round(v, 6) for k, v in seconds.items()},
+        "speedup_vs_interpreter": {
+            k: round(v, 3) for k, v in speedup_vs_interpreter.items()
+        },
+        "process_vs_compiled": round(process_vs_compiled, 3),
+        "process_speedup_bar": 1.5,
+        "process_speedup_bar_binding": usable_cpus() >= BAR_MIN_CPUS,
+    }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "backends.txt"), "w") as handle:
+        handle.write(
+            "backend comparison — covar on "
+            f"{name} (scale {BENCH_SCALE}, {usable_cpus()} cpus)\n"
+        )
+        for config, s in seconds.items():
+            handle.write(
+                f"{config:17} {s:9.4f}s  "
+                f"{speedup_vs_interpreter[config]:6.2f}x vs interpreter\n"
+            )
+        handle.write(
+            f"process vs compiled: {process_vs_compiled:.2f}x\n"
+        )
+
+    # sanity on every host: no configuration should collapse
+    for config, speedup in speedup_vs_interpreter.items():
+        assert speedup > 0.02, (
+            f"{config} pathologically slow: {seconds[config]:.4f}s vs "
+            f"interpreter {seconds['interpreter']:.4f}s"
+        )
+    if usable_cpus() >= BAR_MIN_CPUS:
+        assert process_vs_compiled >= 1.5, (
+            f"process backend must beat single-threaded compiled by "
+            f">=1.5x on a {usable_cpus()}-cpu host; measured "
+            f"{process_vs_compiled:.2f}x "
+            f"({seconds['process']:.4f}s vs {seconds['compiled']:.4f}s)"
+        )
+    else:
+        pytest.skip(
+            f"{usable_cpus()} usable CPU(s) < {BAR_MIN_CPUS}: parallel "
+            "speedup bar not binding; measured "
+            f"process_vs_compiled={process_vs_compiled:.2f}x "
+            f"recorded in {BENCH_JSON}"
+        )

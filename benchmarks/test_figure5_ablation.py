@@ -14,6 +14,8 @@ from repro.baselines import FIGURE5_LADDER
 
 from .common import DATASET_NAMES, PAPER_FIGURE5, Report, covar_workload, dataset
 
+pytestmark = pytest.mark.slow
+
 _measured = {}
 
 

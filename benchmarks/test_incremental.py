@@ -24,6 +24,8 @@ from repro import DeltaBatch, IncrementalEngine
 
 from .common import DATASET_NAMES, Report, covar_workload, dataset
 
+pytestmark = pytest.mark.slow
+
 DELTA_FRACTIONS = [0.01, 0.10, 0.50]
 
 _measured = {}

@@ -16,6 +16,8 @@ from repro.ml import CovarBatch
 
 from .common import Report
 
+pytestmark = pytest.mark.slow
+
 SCALES = [0.1, 0.3, 0.9]
 
 _measured = {}

@@ -11,6 +11,8 @@ from repro import materialize_join
 
 from .common import DATASET_NAMES, PAPER_TABLE1, Report, dataset
 
+pytestmark = pytest.mark.slow
+
 _measured = {}
 
 

@@ -19,6 +19,8 @@ from .common import (
     rt_node_workload,
 )
 
+pytestmark = pytest.mark.slow
+
 WORKLOADS = ["covar", "rt_node", "mi", "cube"]
 
 _measured = {}

@@ -29,6 +29,8 @@ from .common import (
     rt_node_workload,
 )
 
+pytestmark = pytest.mark.slow
+
 WORKLOADS = ["count", "covar", "rt_node", "mi", "cube"]
 
 _measured = {}

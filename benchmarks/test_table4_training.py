@@ -35,6 +35,8 @@ from repro.ml.trees import DecisionTree
 
 from .common import PAPER_TABLE4, Report, dataset
 
+pytestmark = pytest.mark.slow
+
 DATASETS = ["retailer", "favorita"]
 TREE_PARAMS = dict(max_depth=4, min_samples_split=500, n_buckets=10)
 

@@ -14,6 +14,8 @@ from repro.ml import CARTLearner
 
 from .common import PAPER_TABLE5, Report, dataset
 
+pytestmark = pytest.mark.slow
+
 TREE_PARAMS = dict(max_depth=4, min_samples_split=500, n_buckets=10)
 
 _measured = {}

@@ -104,16 +104,34 @@ def cmd_run(args) -> int:
     batch = _build_workload(dataset, engine, args.workload)
     if args.incremental:
         return _run_incremental(args, dataset, batch)
-    engine.plan(batch)  # warm: planning+compilation outside the timing
-    start = time.perf_counter()
-    results = engine.run(batch)
-    elapsed = time.perf_counter() - start
-    n_rows = sum(r.n_rows for r in results.values())
+    backends = (
+        ["interpret", "compiled", "process"]
+        if args.backend == "all"
+        else [args.backend]
+    )
     print(
         f"{args.workload} on {args.dataset}: {len(batch)} queries, "
-        f"{batch.n_application_aggregates} aggregates, "
-        f"{n_rows} result rows in {elapsed:.4f}s"
+        f"{batch.n_application_aggregates} aggregates "
+        f"(threads={args.threads})"
     )
+    baseline = None
+    for name in backends:
+        with LMFAO(
+            dataset.database,
+            dataset.join_tree,
+            backend=name,
+            n_threads=args.threads,
+        ) as backend_engine:
+            backend_engine.plan(batch)  # warm: plan+compile untimed
+            start = time.perf_counter()
+            results = backend_engine.run(batch)
+            elapsed = time.perf_counter() - start
+        n_rows = sum(r.n_rows for r in results.values())
+        baseline = baseline or elapsed
+        print(
+            f"  {name:9} {elapsed:8.4f}s  {n_rows} result rows"
+            f"  ({baseline / elapsed:.2f}x vs {backends[0]})"
+        )
     print("plan:", engine.plan(batch).statistics.table2_row())
     return 0
 
@@ -187,6 +205,21 @@ def main(argv=None) -> int:
             "workload", choices=["covar", "rt_node", "mi", "cube"]
         )
         if name == "run":
+            p.add_argument(
+                "--backend",
+                choices=["interpret", "compiled", "process", "all"],
+                default="compiled",
+                help="execution backend; 'all' times each backend in "
+                "turn (default: compiled)",
+            )
+            p.add_argument(
+                "--threads",
+                type=int,
+                default=1,
+                help="task/domain parallelism; for --backend process, "
+                "values > 1 set the worker count and 1 means all cores "
+                "(default: 1)",
+            )
             p.add_argument(
                 "--incremental",
                 action="store_true",

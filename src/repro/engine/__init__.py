@@ -1,6 +1,14 @@
 """The LMFAO engine: layered optimization and execution of aggregate batches."""
 
 from .engine import LMFAO, BatchResult, EnginePlan
+from .executor import (
+    CompiledBackend,
+    DataflowScheduler,
+    ExecutionBackend,
+    InterpreterBackend,
+    ProcessBackend,
+    ViewStore,
+)
 from .explain import explain
 from .grouping import GroupedPlan, ViewGroup, group_views
 from .ivm import BatchMaintenance, DeltaReport, IncrementalEngine
@@ -14,6 +22,12 @@ __all__ = [
     "LMFAO",
     "BatchResult",
     "EnginePlan",
+    "ExecutionBackend",
+    "InterpreterBackend",
+    "CompiledBackend",
+    "ProcessBackend",
+    "DataflowScheduler",
+    "ViewStore",
     "IncrementalEngine",
     "DeltaReport",
     "BatchMaintenance",

@@ -4,19 +4,27 @@
     -> Merge Views -> Group Views -> Multi-Output Optimization
     -> Parallelization -> Compilation
 
+Planning (this module + the layers it calls) produces an
+:class:`EnginePlan`; execution is delegated to the pluggable executor
+subsystem (:mod:`repro.engine.executor`): a :class:`DataflowScheduler`
+launches each view group the moment its inputs are ready, an
+:class:`ExecutionBackend` decides how a group is evaluated (interpreted,
+compiled, or process-partitioned), and materialized views live in a
+:class:`ViewStore` with ref-counted eviction of interior views.
+
 Usage::
 
-    engine = LMFAO(database)
-    results = engine.run(batch)      # query name -> Relation
+    engine = LMFAO(database)                     # compiled, serial
+    engine = LMFAO(database, backend="process")  # multiprocess partitions
+    results = engine.run(batch)                  # query name -> Relation
     stats = engine.plan(batch).statistics
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,9 +35,15 @@ from ..jointree.join_tree import JoinTree, join_tree_from_database
 from ..query.query import QueryBatch
 from . import codegen
 from .attribute_order import sort_database
+from .executor import (
+    BackendSpec,
+    DataflowScheduler,
+    GroupTask,
+    ViewStore,
+    make_backend,
+)
 from .grouping import GroupedPlan, group_views
-from .interpreter import ViewData, execute_plan
-from .parallel import merge_partials, run_partitioned
+from .interpreter import ViewData
 from .plan import GroupPlan, build_group_plan
 from .pushdown import DecomposedBatch, Decomposer
 from .roots import assign_roots
@@ -58,6 +72,27 @@ class EnginePlan:
             for p in self.group_plans
         )
 
+    def dependencies(self) -> Dict[int, set]:
+        """Group id -> ids of the groups it reads views from."""
+        return {g.id: set(g.depends_on) for g in self.grouped.groups}
+
+    def view_consumers(self) -> Dict[int, int]:
+        """View id -> number of groups that read it (for eviction)."""
+        consumers: Dict[int, int] = {}
+        for group_plan in self.group_plans:
+            for vid in group_plan.input_view_ids:
+                consumers[vid] = consumers.get(vid, 0) + 1
+        return consumers
+
+    def output_view_ids(self) -> set:
+        """Ids of views referenced by query outputs (never evictable)."""
+        return {
+            ref.view_id
+            for output in self.decomposed.outputs
+            for refs in output.term_refs
+            for ref in refs
+        }
+
 
 class BatchResult(dict):
     """Query name -> result Relation, plus timing metadata."""
@@ -80,6 +115,13 @@ class LMFAO:
     * ``compile`` — generate + compile specialized code vs interpret;
     * ``n_threads`` — task/domain parallelism (1 = serial);
     * ``sort_inputs`` — sort relations by their attribute orders.
+
+    ``backend`` selects the execution backend: ``"interpret"``,
+    ``"compiled"``, ``"process"``, an :class:`ExecutionBackend`
+    instance, or ``None`` to derive it from ``compile``.  ``n_threads``
+    bounds both the scheduler's task parallelism and the backend's
+    domain parallelism (for ``"process"``, values > 1 set the worker
+    count; 1 means "all cores").
 
     Two extra knobs serve the incremental-maintenance layer
     (:mod:`repro.engine.ivm`):
@@ -106,6 +148,7 @@ class LMFAO:
         partition_threshold: int = 20_000,
         root: Optional[str] = None,
         track_support: bool = False,
+        backend: BackendSpec = None,
     ):
         self.join_tree = join_tree or join_tree_from_database(database)
         self.database = (
@@ -121,12 +164,30 @@ class LMFAO:
         self.multi_root = multi_root
         self.merge_mode = merge_mode
         self.group_views_enabled = group_views
-        self.compile_enabled = compile
         self.n_threads = max(1, int(n_threads))
         self.partition_threshold = partition_threshold
         self.root = root
         self.track_support = track_support
+        self.backend = make_backend(
+            backend,
+            n_threads=self.n_threads,
+            partition_threshold=partition_threshold,
+            compile_enabled=compile,
+        )
+        # the process backend executes generated source; plans must
+        # carry compiled groups regardless of the legacy compile knob
+        self.compile_enabled = compile or self.backend.name == "process"
         self._plan_cache: Dict[tuple, EnginePlan] = {}
+
+    def close(self) -> None:
+        """Release the backend's worker pools (idempotent)."""
+        self.backend.close()
+
+    def __enter__(self) -> "LMFAO":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- planning -----------------------------------------------------------
 
@@ -198,17 +259,23 @@ class LMFAO:
 
     def run(self, batch: QueryBatch) -> BatchResult:
         """Evaluate a batch; returns query name -> result Relation."""
-        result, _, _ = self.run_with_views(batch)
+        result, _, _ = self._run(batch, retain_interior=False)
         return result
 
     def run_with_views(
         self, batch: QueryBatch
-    ) -> Tuple[BatchResult, EnginePlan, Dict[int, "ViewData"]]:
+    ) -> Tuple[BatchResult, EnginePlan, ViewStore]:
         """Evaluate a batch, also returning the plan and materialized views.
 
-        The view dictionary is what the incremental-maintenance layer
-        caches and patches under deltas.
+        The returned :class:`ViewStore` retains every interior view —
+        it is what the incremental-maintenance layer caches and patches
+        under deltas.
         """
+        return self._run(batch, retain_interior=True)
+
+    def _run(
+        self, batch: QueryBatch, *, retain_interior: bool
+    ) -> Tuple[BatchResult, EnginePlan, ViewStore]:
         t0 = time.perf_counter()
         plan = self.plan(batch)
         t1 = time.perf_counter()
@@ -218,98 +285,86 @@ class LMFAO:
                 "batch dynamic-function count changed between planning "
                 "and execution"
             )
-        view_data = self._execute(plan, dyn)
-        result = self.assemble(batch, plan, view_data)
+        store = self.execute(plan, dyn, retain_interior=retain_interior)
+        result = self.assemble(batch, plan, store)
         result.plan_seconds = t1 - t0
         result.execute_seconds = time.perf_counter() - t1
-        return result, plan, view_data
+        return result, plan, store
 
-    def _execute(
-        self, plan: EnginePlan, dyn: Sequence
-    ) -> Dict[int, ViewData]:
-        view_data: Dict[int, ViewData] = {}
-        levels = plan.grouped.execution_levels()
-        if self.n_threads == 1:
-            for level in levels:
-                for gid in level:
-                    view_data.update(self._run_group(plan, gid, view_data, dyn))
-            return view_data
-        with ThreadPoolExecutor(max_workers=self.n_threads) as executor:
-            for level in levels:
-                futures = [
-                    executor.submit(
-                        self._run_group, plan, gid, view_data, dyn, executor
-                    )
-                    for gid in level
-                ]
-                for future in futures:
-                    view_data.update(future.result())
-        return view_data
+    def execute(
+        self,
+        plan: EnginePlan,
+        dyn: Sequence,
+        *,
+        retain_interior: bool = False,
+    ) -> ViewStore:
+        """Materialize every view of a planned batch.
 
-    def _run_group(
+        The dataflow scheduler launches each view group as soon as its
+        input views are published; the backend decides how a group is
+        evaluated.  With ``retain_interior=False`` interior views are
+        evicted once their last consumer finishes (output views are
+        pinned and always survive).
+        """
+        store = ViewStore(
+            consumers=plan.view_consumers(),
+            pinned=plan.output_view_ids(),
+            retain_all=retain_interior,
+        )
+        scheduler = DataflowScheduler(n_workers=self.n_threads)
+
+        def task(group_id: int) -> Dict[int, ViewData]:
+            group_plan = plan.group_plans[group_id]
+            return self.backend.run_group(
+                GroupTask(
+                    plan=group_plan,
+                    relation=self.database.relation(group_plan.node),
+                    incoming=store.snapshot(group_plan.input_view_ids),
+                    dyn=dyn,
+                    compiled_fn=plan.compiled_fns[group_id],
+                )
+            )
+
+        def publish(group_id: int, produced: Dict[int, ViewData]) -> None:
+            store.put_group(produced)
+            store.group_finished(
+                plan.group_plans[group_id].input_view_ids
+            )
+
+        scheduler.run(plan.dependencies(), task, publish)
+        return store
+
+    def _execute(self, plan: EnginePlan, dyn: Sequence) -> ViewStore:
+        """Back-compat alias retained for the pre-executor call sites.
+
+        Retains interior views, matching the old behavior of returning
+        the complete view dictionary.
+        """
+        return self.execute(plan, dyn, retain_interior=True)
+
+    def run_group(
         self,
         plan: EnginePlan,
         group_id: int,
-        view_data: Dict[int, ViewData],
+        relation: Relation,
+        incoming: Mapping[int, ViewData],
         dyn: Sequence,
-        executor: Optional[ThreadPoolExecutor] = None,
     ) -> Dict[int, ViewData]:
-        group_plan = plan.group_plans[group_id]
-        relation = self.database.relation(group_plan.node)
-        incoming = {
-            vid: view_data[vid] for vid in group_plan.input_view_ids
-        }
-        runner = self._runner(plan, group_id)
-        if (
-            executor is not None
-            and relation.n_rows >= self.partition_threshold
-        ):
-            return run_partitioned(
-                runner, relation, incoming, dyn, self.n_threads, executor
+        """Evaluate one view group over an explicit relation.
+
+        The incremental-maintenance layer uses this to run a cached
+        group plan over a delta partition instead of the group's node
+        relation.
+        """
+        return self.backend.run_group(
+            GroupTask(
+                plan=plan.group_plans[group_id],
+                relation=relation,
+                incoming=dict(incoming),
+                dyn=dyn,
+                compiled_fn=plan.compiled_fns[group_id],
             )
-        return runner(relation, incoming, dyn)
-
-    def _runner(self, plan: EnginePlan, group_id: int):
-        group_plan = plan.group_plans[group_id]
-        compiled = plan.compiled_fns[group_id]
-        if compiled is None:
-            def run(relation, incoming, dyn):
-                return execute_plan(group_plan, relation, incoming, dyn)
-
-            return run
-
-        def run_compiled(relation, incoming, dyn):
-            rel_cols = {
-                name: relation.column(name)
-                for name in group_plan.relation_attrs
-            }
-            key_cols = {vid: vd.key_cols for vid, vd in incoming.items()}
-            agg_cols = {vid: vd.agg_cols for vid, vd in incoming.items()}
-            raw = compiled(rel_cols, relation.n_rows, key_cols, agg_cols, dyn)
-            out: Dict[int, ViewData] = {}
-            for vid, emitted in raw.items():
-                # support-tracking plans emit (group_by, keys, aggs,
-                # support); plain plans the historical 3-tuple
-                if len(emitted) == 4:
-                    group_by, keys, aggs, support = emitted
-                else:
-                    group_by, keys, aggs = emitted
-                    support = None
-                out[vid] = ViewData(
-                    group_by=group_by,
-                    key_cols=list(keys),
-                    agg_cols=[
-                        np.asarray(a, dtype=np.float64) for a in aggs
-                    ],
-                    support=(
-                        None
-                        if support is None
-                        else np.asarray(support, dtype=np.float64)
-                    ),
-                )
-            return out
-
-        return run_compiled
+        )
 
     # -- output assembly ------------------------------------------------------
 
@@ -317,7 +372,7 @@ class LMFAO:
         self,
         batch: QueryBatch,
         plan: EnginePlan,
-        view_data: Dict[int, ViewData],
+        view_data: Mapping[int, ViewData],
     ) -> BatchResult:
         """Assemble per-query result relations from materialized views."""
         result = BatchResult()

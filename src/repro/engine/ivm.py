@@ -12,9 +12,13 @@ partition with the node relation's rows.  Evaluating the *unchanged*
 group plan over only the delta partition therefore yields exactly the
 additive change of each view, which merges into the cached
 :class:`~repro.engine.interpreter.ViewData` with the same
-distributive-SUM re-aggregation the domain-parallel layer already uses
-(:func:`repro.engine.parallel.merge_partials`).  Retractions are
-insertions with negated payload.
+distributive-SUM re-aggregation the domain-parallel backends already
+use (:meth:`repro.engine.executor.ViewStore.merge_parts`, built on
+:func:`repro.engine.executor.merge_partials`).  Retractions are
+insertions with negated payload.  Cached views live in a pinned
+:class:`~repro.engine.executor.ViewStore` rather than a bare dict, so
+the maintenance layer shares one view-lifetime mechanism with the
+executor.
 
 Exact key sets under retraction come from *support counts*: plans built
 with ``track_support=True`` carry a hidden context-row count per group
@@ -42,8 +46,8 @@ from ..data.database import AppliedDelta, Database, DeltaBatch
 from ..jointree.join_tree import JoinTree
 from ..query.query import QueryBatch
 from .engine import LMFAO, BatchResult, EnginePlan
+from .executor import ViewStore
 from .interpreter import ViewData
-from .parallel import merge_partials
 
 
 @dataclass
@@ -77,11 +81,11 @@ class DeltaReport:
 
 @dataclass
 class _CachedBatch:
-    """A materialized batch: plan + live view data + bound dyn table."""
+    """A materialized batch: plan + live view store + bound dyn table."""
 
     batch: QueryBatch
     plan: EnginePlan
-    view_data: Dict[int, ViewData]
+    view_data: ViewStore
     dyn: Sequence
 
 
@@ -159,6 +163,7 @@ class IncrementalEngine:
             result.execute_seconds = time.perf_counter() - t0
             return result
         result, plan, view_data = self.engine.run_with_views(batch)
+        self._pin_sinks(plan, view_data)
         self._cache[key] = _CachedBatch(
             batch=batch,
             plan=plan,
@@ -174,7 +179,7 @@ class IncrementalEngine:
         delta sequences, or after out-of-band database changes.
         """
         for entry in self._cache.values():
-            entry.view_data = self.engine._execute(entry.plan, entry.dyn)
+            entry.view_data = self._materialize(entry.plan, entry.dyn)
 
     # -- incremental maintenance ----------------------------------------------
 
@@ -214,7 +219,7 @@ class IncrementalEngine:
                     self._merge_delta(entry, step)
                 mode = "incremental"
             else:
-                entry.view_data = self.engine._execute(entry.plan, entry.dyn)
+                entry.view_data = self._materialize(entry.plan, entry.dyn)
                 mode = "recompute"
             report.batches.append(
                 BatchMaintenance(
@@ -242,6 +247,29 @@ class IncrementalEngine:
         self._cache.clear()
 
     # -- internals -------------------------------------------------------------
+
+    def _materialize(self, plan: EnginePlan, dyn: Sequence) -> ViewStore:
+        """Execute a cached plan from scratch, keeping + pinning all views."""
+        store = self.engine.execute(plan, dyn, retain_interior=True)
+        self._pin_sinks(plan, store)
+        return store
+
+    def _pin_sinks(self, plan: EnginePlan, store: ViewStore) -> None:
+        """Pin the delta-merge targets (sink-group views) in the store.
+
+        The store already retains everything (``retain_all``); pinning
+        records which views the maintenance layer patches in place, so
+        they survive even if a future engine ever re-enables eviction on
+        cached stores.
+        """
+        consumed = {
+            dep for group in plan.grouped.groups for dep in group.depends_on
+        }
+        for group in plan.grouped.groups:
+            if group.id in consumed:
+                continue
+            for vid in group.view_ids:
+                store.pin(vid)
 
     @staticmethod
     def _sink_nodes(plan: EnginePlan) -> Set[str]:
@@ -272,48 +300,28 @@ class IncrementalEngine:
     def _merge_delta(self, entry: _CachedBatch, step: AppliedDelta) -> None:
         """Patch one cached batch's views with one applied delta."""
         plan = entry.plan
+        store = entry.view_data
         for group in plan.grouped.groups:
             if group.node != step.relation:
                 continue
             group_plan = plan.group_plans[group.id]
-            incoming = {
-                vid: entry.view_data[vid]
-                for vid in group_plan.input_view_ids
-            }
-            runner = self.engine._runner(plan, group.id)
+            incoming = store.snapshot(group_plan.input_view_ids)
             parts: List[Dict[int, ViewData]] = [
-                {vid: entry.view_data[vid] for vid in group.view_ids}
+                store.snapshot(group.view_ids)
             ]
             if step.inserted is not None and step.inserted.n_rows:
-                parts.append(runner(step.inserted, incoming, entry.dyn))
+                parts.append(
+                    self.engine.run_group(
+                        plan, group.id, step.inserted, incoming, entry.dyn
+                    )
+                )
             if step.deleted is not None and step.deleted.n_rows:
-                removed = runner(step.deleted, incoming, entry.dyn)
+                removed = self.engine.run_group(
+                    plan, group.id, step.deleted, incoming, entry.dyn
+                )
                 parts.append(
                     {vid: vd.negated() for vid, vd in removed.items()}
                 )
             if len(parts) == 1:
                 continue
-            merged = merge_partials(parts)
-            for vid, view in merged.items():
-                entry.view_data[vid] = _retire_dead_keys(view)
-
-
-def _retire_dead_keys(view: ViewData) -> ViewData:
-    """Drop group keys whose support cancelled to zero.
-
-    Supports are integer-valued floats maintained purely by addition, so
-    the zero test is exact; a key's support hits zero exactly when every
-    context row that produced it has been retracted — the same condition
-    under which a from-scratch run would not emit the key at all.
-    """
-    if view.support is None or not view.group_by:
-        return view
-    alive = view.support > 0.5
-    if bool(alive.all()):
-        return view
-    return ViewData(
-        group_by=view.group_by,
-        key_cols=[col[alive] for col in view.key_cols],
-        agg_cols=[col[alive] for col in view.agg_cols],
-        support=view.support[alive],
-    )
+            store.merge_parts(parts, retire_dead=True)

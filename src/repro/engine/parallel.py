@@ -1,102 +1,19 @@
-"""The Parallelization layer (paper §1.2).
+"""Back-compat shim for the old Parallelization-layer module.
 
-Two forms of parallelism, as in LMFAO:
+The Parallelization layer (paper §1.2) now lives in the executor
+subsystem: task parallelism is the dependency-counting
+:class:`repro.engine.executor.DataflowScheduler`, and domain
+parallelism (partition the largest relations, merge partial views)
+is implemented inside the execution backends
+(:mod:`repro.engine.executor.backend`).
 
-* **task parallelism** — view groups that do not depend on each other run
-  concurrently (the group dependency graph of Figure 3 right);
-* **domain parallelism** — the largest relations are partitioned and a
-  worker evaluates the multi-output plan per partition; partial view
-  outputs are merged by grouped re-aggregation (SUM is distributive over
-  row partitions).
-
-NumPy releases the GIL inside its kernels, so a ``ThreadPoolExecutor``
-yields genuine overlap for the join/aggregation work.
+This module re-exports the distributive-SUM merge primitive under its
+historical import path; new code should import from
+:mod:`repro.engine.executor`.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, List, Sequence
+from .executor.store import merge_partials
 
-import numpy as np
-
-from ..data import ops
-from ..data.relation import Relation
-from .interpreter import ViewData
-
-#: a group runner takes (relation, incoming views, dyn table) and returns
-#: the produced views by id
-GroupRunner = Callable[[Relation, Dict[int, ViewData], Sequence], Dict[int, ViewData]]
-
-
-def run_partitioned(
-    runner: GroupRunner,
-    relation: Relation,
-    incoming: Dict[int, ViewData],
-    dyn: Sequence,
-    n_parts: int,
-    executor: ThreadPoolExecutor,
-) -> Dict[int, ViewData]:
-    """Evaluate one group plan over row partitions of its relation.
-
-    Valid because every view aggregate is a SUM over context rows, and
-    context rows partition with the relation rows.
-    """
-    if n_parts <= 1 or relation.n_rows < n_parts:
-        return runner(relation, incoming, dyn)
-    bounds = np.linspace(0, relation.n_rows, n_parts + 1, dtype=np.int64)
-    parts = [
-        relation.take(np.arange(bounds[i], bounds[i + 1]))
-        for i in range(n_parts)
-        if bounds[i] < bounds[i + 1]
-    ]
-    futures = [
-        executor.submit(runner, part, incoming, dyn) for part in parts
-    ]
-    partials = [f.result() for f in futures]
-    return merge_partials(partials)
-
-
-def merge_partials(partials: List[Dict[int, ViewData]]) -> Dict[int, ViewData]:
-    """Merge per-partition view outputs by grouped re-aggregation.
-
-    Support counts (when every piece tracks them) merge like any other
-    SUM column; they are integer-valued, so partition counts add exactly.
-    """
-    merged: Dict[int, ViewData] = {}
-    view_ids = {vid for partial in partials for vid in partial}
-    for vid in sorted(view_ids):
-        pieces = [p[vid] for p in partials if vid in p]
-        first = pieces[0]
-        if not first.group_by:
-            agg_cols = [
-                np.asarray(
-                    [sum(float(p.agg_cols[i][0]) for p in pieces)],
-                    dtype=np.float64,
-                )
-                for i in range(len(first.agg_cols))
-            ]
-            merged[vid] = ViewData(
-                group_by=first.group_by, key_cols=[], agg_cols=agg_cols
-            )
-            continue
-        with_support = all(p.support is not None for p in pieces)
-        key_cols = [
-            np.concatenate([p.key_cols[k] for p in pieces])
-            for k in range(len(first.key_cols))
-        ]
-        value_cols = [
-            np.concatenate([p.agg_cols[i] for p in pieces])
-            for i in range(len(first.agg_cols))
-        ]
-        if with_support:
-            value_cols.append(np.concatenate([p.support for p in pieces]))
-        keys, sums = ops.group_aggregate(key_cols, value_cols)
-        support = sums.pop() if with_support else None
-        merged[vid] = ViewData(
-            group_by=first.group_by,
-            key_cols=list(keys),
-            agg_cols=list(sums),
-            support=support,
-        )
-    return merged
+__all__ = ["merge_partials"]

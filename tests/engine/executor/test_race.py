@@ -1,0 +1,63 @@
+"""Stress test for the same-level concurrency race the executor fixed.
+
+The old ``LMFAO._execute`` dict-updated a shared ``view_data`` while
+same-level futures were still reading it.  The executor publishes
+results through the scheduler's completion loop into a locked
+:class:`ViewStore`, and workers snapshot their inputs — so a wide batch
+run with many threads must match serial execution bit-for-bit, every
+time.
+"""
+
+import numpy as np
+
+from repro import LMFAO, Aggregate, Query, QueryBatch
+
+from ..helpers import assert_results_equal
+
+
+def wide_batch():
+    """Many independent same-level queries -> a wide group DAG."""
+    queries = [Query("total", [], [Aggregate.count()])]
+    for i, (group_by, attr) in enumerate(
+        [
+            (["city"], "units"),
+            (["date"], "price"),
+            (["store"], "units"),
+            (["city", "store"], "units"),
+            (["date"], "units"),
+            (["store"], "size"),
+            (["city"], "size"),
+        ]
+    ):
+        queries.append(
+            Query(f"q{i}", group_by, [Aggregate.of(attr, name="a")])
+        )
+    return QueryBatch(queries)
+
+
+def test_wide_batch_threaded_matches_serial_repeatedly(toy_db):
+    batch = wide_batch()
+    serial = LMFAO(toy_db, n_threads=1).run(batch)
+    with LMFAO(
+        toy_db, n_threads=4, partition_threshold=32
+    ) as engine:
+        for _ in range(20):
+            assert_results_equal(engine.run(batch), serial, batch)
+
+
+def test_threaded_interpreter_matches_serial_repeatedly(toy_db):
+    batch = wide_batch()
+    serial = LMFAO(toy_db, compile=False).run(batch)
+    with LMFAO(
+        toy_db, compile=False, n_threads=4, partition_threshold=32
+    ) as engine:
+        for _ in range(10):
+            assert_results_equal(engine.run(batch), serial, batch)
+
+
+def test_threaded_run_with_views_retains_everything(toy_db):
+    batch = wide_batch()
+    with LMFAO(toy_db, n_threads=4) as engine:
+        _, plan, store = engine.run_with_views(batch)
+    assert set(store) >= {v.id for v in plan.decomposed.views}
+    assert not store.evicted

@@ -1,0 +1,155 @@
+"""Dataflow scheduler: readiness ordering, diamonds, errors, parallelism."""
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.executor import DataflowScheduler
+
+DIAMOND = {"a": [], "b": ["a"], "c": ["a"], "d": ["b", "c"]}
+
+
+def run_recording(dependencies, n_workers=1, task=None):
+    """Run a DAG recording completion order; returns (order, results)."""
+    order = []
+    scheduler = DataflowScheduler(n_workers=n_workers)
+    results = scheduler.run(
+        dependencies,
+        task or (lambda node: node),
+        lambda node, result: order.append(node),
+    )
+    return order, results
+
+
+def assert_topological(order, dependencies):
+    position = {node: i for i, node in enumerate(order)}
+    for node, deps in dependencies.items():
+        for dep in deps:
+            assert position[dep] < position[node], (
+                f"{dep!r} must complete before {node!r}; order={order}"
+            )
+
+
+class TestSerial:
+    def test_diamond_order(self):
+        order, results = run_recording(DIAMOND)
+        assert set(order) == set(DIAMOND)
+        assert_topological(order, DIAMOND)
+        assert order[-1] == "d"
+        assert results == {n: n for n in DIAMOND}
+
+    def test_deterministic(self):
+        orders = {tuple(run_recording(DIAMOND)[0]) for _ in range(5)}
+        assert len(orders) == 1
+
+    def test_chain_and_independent(self):
+        deps = {0: [], 1: [0], 2: [1], 3: []}
+        order, _ = run_recording(deps)
+        assert_topological(order, deps)
+
+    def test_empty_dag(self):
+        assert DataflowScheduler().run({}, lambda n: n) == {}
+
+    def test_results_returned(self):
+        deps = {1: [], 2: [1]}
+        results = DataflowScheduler().run(deps, lambda n: n * 10)
+        assert results == {1: 10, 2: 20}
+
+    def test_on_result_called_before_dependents_start(self):
+        published = set()
+
+        def task(node):
+            for dep in DIAMOND[node]:
+                assert dep in published, (
+                    f"{node} started before {dep} was published"
+                )
+            return node
+
+        DataflowScheduler().run(
+            DIAMOND, task, lambda node, result: published.add(node)
+        )
+        assert published == set(DIAMOND)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("n_workers", [1, 3])
+    def test_cycle_detected(self, n_workers):
+        with pytest.raises(ValueError, match="cycle"):
+            DataflowScheduler(n_workers=n_workers).run(
+                {"a": ["b"], "b": ["a"], "c": []}, lambda n: n
+            )
+
+    def test_unknown_dependency(self):
+        with pytest.raises(ValueError, match="unknown"):
+            DataflowScheduler().run({"a": ["ghost"]}, lambda n: n)
+
+    @pytest.mark.parametrize("n_workers", [1, 3])
+    def test_task_error_propagates(self, n_workers):
+        def task(node):
+            if node == "b":
+                raise RuntimeError("boom")
+            return node
+
+        with pytest.raises(RuntimeError, match="boom"):
+            DataflowScheduler(n_workers=n_workers).run(
+                {"a": [], "b": ["a"], "c": ["b"]}, task
+            )
+
+
+class TestParallel:
+    def test_diamond_order(self):
+        order, results = run_recording(DIAMOND, n_workers=4)
+        assert_topological(order, DIAMOND)
+        assert results == {n: n for n in DIAMOND}
+
+    def test_no_level_barrier(self):
+        """A deep chain must not wait for a slow sibling at level 0.
+
+        Under the old level schedule, c2 (level 2) could never start
+        before `slow` (level 0) finished.  The dataflow scheduler lets
+        the chain run through while `slow` is still executing.
+        """
+        deps = {"slow": [], "c0": [], "c1": ["c0"], "c2": ["c1"]}
+        finished = {}
+        release = threading.Event()
+
+        def task(node):
+            if node == "slow":
+                release.wait(timeout=10)
+            finished[node] = time.perf_counter()
+            return node
+
+        def on_result(node, _):
+            if node == "c2":
+                release.set()  # only unblock `slow` once the chain is done
+
+        DataflowScheduler(n_workers=2).run(deps, task, on_result)
+        assert finished["c2"] < finished["slow"]
+
+    def test_independent_nodes_overlap(self):
+        running = []
+        peak = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(3, timeout=10)
+
+        def task(node):
+            with lock:
+                running.append(node)
+                peak.append(len(running))
+            barrier.wait()  # all three must be in flight at once
+            with lock:
+                running.remove(node)
+            return node
+
+        DataflowScheduler(n_workers=3).run(
+            {"a": [], "b": [], "c": []}, task
+        )
+        assert max(peak) == 3
+
+    def test_wide_dag_many_workers(self):
+        deps = {i: [] for i in range(20)}
+        deps.update({100 + i: [i, (i + 1) % 20] for i in range(20)})
+        order, results = run_recording(deps, n_workers=8)
+        assert len(results) == 40
+        assert_topological(order, deps)

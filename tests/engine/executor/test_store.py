@@ -1,0 +1,159 @@
+"""ViewStore: mapping protocol, ref-counted eviction, pinning, merging."""
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import ViewStore, merge_partials, retire_dead_keys
+from repro.engine.interpreter import ViewData
+
+
+def scalar_view(value, support=None):
+    return ViewData(
+        (),
+        [],
+        [np.array([float(value)])],
+        support=None if support is None else np.asarray(support, float),
+    )
+
+
+def grouped_view(keys, values, support=None):
+    return ViewData(
+        ("g",),
+        [np.asarray(keys)],
+        [np.asarray(values, dtype=np.float64)],
+        support=None if support is None else np.asarray(support, float),
+    )
+
+
+class TestMappingProtocol:
+    def test_put_get_contains_len_iter(self):
+        store = ViewStore()
+        store[3] = scalar_view(1.0)
+        store.put(5, scalar_view(2.0))
+        assert 3 in store and 5 in store and 4 not in store
+        assert len(store) == 2
+        assert sorted(store) == [3, 5]
+        assert store[5].agg_cols[0].tolist() == [2.0]
+        assert dict(store.items()).keys() == {3, 5}
+        assert store.get(4) is None
+
+    def test_missing_view_raises_plain_keyerror(self):
+        with pytest.raises(KeyError):
+            ViewStore()[7]
+
+    def test_views_returns_plain_dict_copy(self):
+        store = ViewStore()
+        store[1] = scalar_view(1.0)
+        views = store.views()
+        views[2] = scalar_view(2.0)
+        assert 2 not in store
+
+
+class TestEviction:
+    def test_evicts_only_after_last_consumer(self):
+        store = ViewStore(consumers={1: 2})
+        store[1] = scalar_view(1.0)
+        store.group_finished([1])
+        assert 1 in store, "one of two consumers left — must survive"
+        store.group_finished([1])
+        assert 1 not in store
+        assert store.evicted == {1}
+
+    def test_evicted_keyerror_explains(self):
+        store = ViewStore(consumers={1: 1})
+        store[1] = scalar_view(1.0)
+        store.group_finished([1])
+        with pytest.raises(KeyError, match="evicted"):
+            store[1]
+
+    def test_pinned_views_survive(self):
+        store = ViewStore(consumers={1: 1}, pinned=[1])
+        store[1] = scalar_view(1.0)
+        store.group_finished([1])
+        assert 1 in store
+        assert store.is_pinned(1)
+
+    def test_pin_after_construction(self):
+        store = ViewStore(consumers={1: 1})
+        store[1] = scalar_view(1.0)
+        store.pin(1)
+        store.group_finished([1])
+        assert 1 in store
+
+    def test_retain_all_disables_eviction(self):
+        store = ViewStore(consumers={1: 1}, retain_all=True)
+        store[1] = scalar_view(1.0)
+        store.group_finished([1])
+        assert 1 in store
+
+    def test_views_without_consumer_entry_never_evicted(self):
+        store = ViewStore(consumers={1: 1})
+        store[2] = scalar_view(2.0)
+        store.group_finished([2])  # no refcount entry: a no-op
+        assert 2 in store
+
+    def test_snapshot_unaffected_by_later_eviction(self):
+        store = ViewStore(consumers={1: 1})
+        store[1] = grouped_view([0, 1], [1.0, 2.0])
+        snap = store.snapshot([1])
+        store.group_finished([1])
+        assert 1 not in store
+        assert snap[1].agg_cols[0].tolist() == [1.0, 2.0]
+
+
+class TestMergeParts:
+    def test_merge_parts_stores_merged_views(self):
+        store = ViewStore()
+        store[1] = grouped_view([0, 1], [1.0, 2.0])
+        store.merge_parts(
+            [store.snapshot([1]), {1: grouped_view([1, 2], [10.0, 20.0])}]
+        )
+        table = dict(
+            zip(store[1].key_cols[0].tolist(), store[1].agg_cols[0].tolist())
+        )
+        assert table == {0: 1.0, 1: 12.0, 2: 20.0}
+
+    def test_merge_parts_retires_dead_keys(self):
+        store = ViewStore()
+        store[1] = grouped_view([0, 1], [1.0, 2.0], support=[1.0, 1.0])
+        store.merge_parts(
+            [
+                store.snapshot([1]),
+                {1: grouped_view([1], [-2.0], support=[-1.0])},
+            ],
+            retire_dead=True,
+        )
+        assert store[1].key_cols[0].tolist() == [0]
+        assert store[1].agg_cols[0].tolist() == [1.0]
+
+    def test_merge_parts_without_retire_keeps_zero_support_keys(self):
+        store = ViewStore()
+        store[1] = grouped_view([0, 1], [1.0, 2.0], support=[1.0, 1.0])
+        store.merge_parts(
+            [
+                store.snapshot([1]),
+                {1: grouped_view([1], [-2.0], support=[-1.0])},
+            ],
+        )
+        assert store[1].key_cols[0].tolist() == [0, 1]
+
+
+class TestMergePrimitives:
+    """merge_partials / retire_dead_keys at their new home."""
+
+    def test_merge_partials_reexported(self):
+        from repro.engine.parallel import merge_partials as legacy
+
+        assert legacy is merge_partials
+
+    def test_retire_dead_keys_exact_zero(self):
+        view = grouped_view([0, 1, 2], [1.0, 0.0, 3.0],
+                            support=[2.0, 0.0, 1.0])
+        retired = retire_dead_keys(view)
+        assert retired.key_cols[0].tolist() == [0, 2]
+        assert retired.agg_cols[0].tolist() == [1.0, 3.0]
+        assert retired.support.tolist() == [2.0, 1.0]
+
+    def test_retire_dead_keys_noop_without_support(self):
+        view = grouped_view([0, 1], [1.0, 2.0])
+        assert retire_dead_keys(view) is view

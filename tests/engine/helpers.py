@@ -1,6 +1,85 @@
-"""Shared helpers for engine tests: result comparison utilities."""
+"""Shared helpers for engine tests: result comparison + toy workloads."""
 
 import numpy as np
+
+from repro import Aggregate, Delta, Power, Product, Query, QueryBatch
+
+
+def _counts_batch():
+    return QueryBatch(
+        [
+            Query("count", [], [Aggregate.count()]),
+            Query("per_store", ["store"], [Aggregate.count(name="n")]),
+            Query("per_city", ["city"], [Aggregate.count(name="n")]),
+        ]
+    )
+
+
+def _groupby_batch():
+    return QueryBatch(
+        [
+            Query("by_city", ["city"], [Aggregate.of("units", name="u")]),
+            Query("by_date", ["date"], [Aggregate.of("price", name="p")]),
+            Query(
+                "by_city_store",
+                ["city", "store"],
+                [Aggregate.of("units", name="u"), Aggregate.count(name="n")],
+            ),
+        ]
+    )
+
+
+def _covar_style_batch():
+    # degree-2 interactions over the continuous attributes, the shape of
+    # one covar-matrix strip
+    return QueryBatch(
+        [
+            Query("s_u", [], [Aggregate.of("units", name="s")]),
+            Query("s_uu", [], [Aggregate.of(Power("units", 2), name="s")]),
+            Query("s_up", [], [Aggregate.of("units", "price", name="s")]),
+            Query("s_us", [], [Aggregate.of("units", "size", name="s")]),
+            Query(
+                "mix",
+                [],
+                [
+                    Aggregate(
+                        [
+                            Product(["units"], coefficient=2.0),
+                            Product(["price"], coefficient=-1.0),
+                        ],
+                        name="mix",
+                    )
+                ],
+            ),
+        ]
+    )
+
+
+def _conditional_batch():
+    return QueryBatch(
+        [
+            Query(
+                "cheap_units",
+                [],
+                [Aggregate.of(Delta("price", "<=", 50.0), "units", name="cu")],
+            ),
+            Query(
+                "cheap_by_city",
+                ["city"],
+                [Aggregate.of(Delta("price", "<=", 50.0), name="n")],
+            ),
+        ]
+    )
+
+
+#: name -> QueryBatch factory over the ``toy_db`` star schema; the
+#: backend-differential tests assert every backend agrees on all of them
+WORKLOADS = {
+    "counts": _counts_batch,
+    "groupbys": _groupby_batch,
+    "covar_style": _covar_style_batch,
+    "conditional": _conditional_batch,
+}
 
 
 def relation_to_table(relation, group_by, agg_names):

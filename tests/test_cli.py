@@ -31,6 +31,33 @@ class TestCli:
         assert main(["--scale", "0.05", "run", "yelp", "cube"]) == 0
         assert "cube on yelp" in capsys.readouterr().out
 
+    def test_run_backend_all(self, capsys):
+        assert main(
+            [
+                "--scale", "0.05",
+                "run", "favorita", "covar",
+                "--backend", "all", "--threads", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        for name in ("interpret", "compiled", "process"):
+            assert name in out
+        assert "x vs interpret" in out
+
+    def test_run_backend_process(self, capsys):
+        assert main(
+            [
+                "--scale", "0.05",
+                "run", "favorita", "covar",
+                "--backend", "process",
+            ]
+        ) == 0
+        assert "process" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["run", "favorita", "covar", "--backend", "gpu"])
+
     def test_plan_mi(self, capsys):
         assert main(["--scale", "0.05", "plan", "favorita", "mi"]) == 0
         out = capsys.readouterr().out
