@@ -27,7 +27,14 @@ from .data import (
     Schema,
     materialize_join,
 )
-from .engine import LMFAO, DeltaReport, IncrementalEngine, PlanStatistics
+from .engine import (
+    LMFAO,
+    DeltaReport,
+    IncrementalEngine,
+    PlanStatistics,
+    ViewCache,
+    WorkloadSession,
+)
 from .jointree import JoinTree, join_tree_from_database
 from .query import (
     Aggregate,
@@ -48,6 +55,8 @@ __version__ = "1.0.0"
 __all__ = [
     "LMFAO",
     "IncrementalEngine",
+    "ViewCache",
+    "WorkloadSession",
     "DeltaBatch",
     "DeltaReport",
     "PlanStatistics",

@@ -16,6 +16,8 @@ from .sql import render_batch_sql
 from .pushdown import DecomposedBatch, Decomposer
 from .roots import assign_roots, possible_roots
 from .stats import PlanStatistics
+from .viewcache import ViewCache, ViewSignature, view_signatures
+from .viewcache.fusion import FusionReport, SessionResult, WorkloadSession
 from .views import AggregateSpec, QueryOutput, View, ViewRef
 
 __all__ = [
@@ -28,6 +30,12 @@ __all__ = [
     "ProcessBackend",
     "DataflowScheduler",
     "ViewStore",
+    "ViewCache",
+    "ViewSignature",
+    "view_signatures",
+    "WorkloadSession",
+    "SessionResult",
+    "FusionReport",
     "IncrementalEngine",
     "DeltaReport",
     "BatchMaintenance",

@@ -48,6 +48,12 @@ from .plan import GroupPlan, build_group_plan
 from .pushdown import DecomposedBatch, Decomposer
 from .roots import assign_roots
 from .stats import PlanStatistics, compute_statistics
+from .viewcache.cache import CacheRunReport, LeafRecipe, ViewCache
+from .viewcache.signature import (
+    ViewSignature,
+    dyn_binding_key,
+    view_signatures,
+)
 
 
 @dataclass
@@ -60,6 +66,9 @@ class EnginePlan:
     compiled_fns: List[Optional[Callable]]
     statistics: PlanStatistics
     n_dynamic: int
+    #: planning-time ``id(function) -> dyn slot`` (content signatures
+    #: resolve dynamic functions to their runtime bindings through it)
+    dyn_slots: Dict[int, int]
 
     def describe(self) -> str:
         """Dump all group plans (Figure 4 analog)."""
@@ -95,12 +104,19 @@ class EnginePlan:
 
 
 class BatchResult(dict):
-    """Query name -> result Relation, plus timing metadata."""
+    """Query name -> result Relation, plus timing metadata.
+
+    ``cache_report`` is a
+    :class:`~repro.engine.viewcache.cache.CacheRunReport` (per-view
+    hit/miss events) when the engine ran with a view cache attached,
+    else None.
+    """
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.plan_seconds: float = 0.0
         self.execute_seconds: float = 0.0
+        self.cache_report: Optional[CacheRunReport] = None
 
 
 class LMFAO:
@@ -132,6 +148,15 @@ class LMFAO:
     * ``track_support`` — plans additionally maintain a per-group
       context-row count per view, letting delta merges retire group keys
       whose support drops to zero.
+
+    ``view_cache`` (optional) attaches a cross-run
+    :class:`~repro.engine.viewcache.cache.ViewCache`: before execution
+    every planned view's content signature is probed, groups whose
+    outputs are all cached are skipped, and newly materialized views
+    are admitted back into the cache (interior views via the store's
+    eviction handoff).  The cache may be shared between engines and
+    sessions — keys are content addresses, so a hit is always the data
+    the engine would have recomputed.
     """
 
     def __init__(
@@ -149,6 +174,7 @@ class LMFAO:
         root: Optional[str] = None,
         track_support: bool = False,
         backend: BackendSpec = None,
+        view_cache: Optional[ViewCache] = None,
     ):
         self.join_tree = join_tree or join_tree_from_database(database)
         self.database = (
@@ -177,7 +203,11 @@ class LMFAO:
         # the process backend executes generated source; plans must
         # carry compiled groups regardless of the legacy compile knob
         self.compile_enabled = compile or self.backend.name == "process"
+        self.view_cache = view_cache
         self._plan_cache: Dict[tuple, EnginePlan] = {}
+        # id(plan) -> (plan, database, signatures); both identities are
+        # re-checked so IVM database swaps invalidate stale signatures
+        self._sig_memo: Dict[int, tuple] = {}
 
     def close(self) -> None:
         """Release the backend's worker pools (idempotent)."""
@@ -251,6 +281,7 @@ class LMFAO:
             compiled_fns=compiled,
             statistics=compute_statistics(batch, decomposed, grouped),
             n_dynamic=len(dyn_functions),
+            dyn_slots=dyn_slots,
         )
         self._plan_cache[cache_key] = plan
         return plan
@@ -285,11 +316,40 @@ class LMFAO:
                 "batch dynamic-function count changed between planning "
                 "and execution"
             )
-        store = self.execute(plan, dyn, retain_interior=retain_interior)
+        store, report = self._execute_impl(
+            plan, dyn, retain_interior=retain_interior
+        )
         result = self.assemble(batch, plan, store)
         result.plan_seconds = t1 - t0
         result.execute_seconds = time.perf_counter() - t1
+        result.cache_report = report
         return result, plan, store
+
+    def view_signatures_for(
+        self, plan: EnginePlan, dyn: Sequence = ()
+    ) -> Dict[int, ViewSignature]:
+        """Content signatures of a plan's views against the current data.
+
+        ``dyn`` is this run's dynamic-function binding (slot order);
+        signatures hash those values, not the planning-time ones, so a
+        plan-cache-shared plan re-bound to new thresholds gets fresh
+        digests.  Memoized per (plan, database, binding); an IVM
+        database swap or re-binding recomputes on the next run.
+        """
+        dyn_key = dyn_binding_key(dyn)
+        memo = self._sig_memo.get(id(plan))
+        if (
+            memo is not None
+            and memo[0] is plan
+            and memo[1] is self.database
+            and memo[2] == dyn_key
+        ):
+            return memo[3]
+        sigs = view_signatures(
+            plan.decomposed.views, self.database, plan.dyn_slots, dyn
+        )
+        self._sig_memo[id(plan)] = (plan, self.database, dyn_key, sigs)
+        return sigs
 
     def execute(
         self,
@@ -306,14 +366,78 @@ class LMFAO:
         evicted once their last consumer finishes (output views are
         pinned and always survive).
         """
+        store, _ = self._execute_impl(
+            plan, dyn, retain_interior=retain_interior
+        )
+        return store
+
+    def _execute_impl(
+        self,
+        plan: EnginePlan,
+        dyn: Sequence,
+        *,
+        retain_interior: bool,
+    ) -> Tuple[ViewStore, Optional[CacheRunReport]]:
+        cache = self.view_cache
+        report: Optional[CacheRunReport] = None
+        sigs: Dict[int, ViewSignature] = {}
+        preloaded: Dict[int, ViewData] = {}
+        recipes: Dict[int, LeafRecipe] = {}
+        skip: set = set()
+        if cache is not None:
+            sigs = self.view_signatures_for(plan, dyn)
+            report = CacheRunReport(total_groups=len(plan.group_plans))
+            for view in plan.decomposed.views:
+                report.names[view.id] = view.name
+                sig = sigs[view.id]
+                if not sig.cacheable:
+                    report.events[view.id] = "uncacheable"
+                    continue
+                data = cache.get(sig.digest)
+                if data is None:
+                    report.events[view.id] = "miss"
+                else:
+                    report.events[view.id] = "hit"
+                    preloaded[view.id] = data
+            for group_plan in plan.group_plans:
+                if all(
+                    report.events.get(vid) == "hit"
+                    for vid in group_plan.group.view_ids
+                ):
+                    skip.add(group_plan.group.id)
+                elif not group_plan.input_view_ids:
+                    # leaf groups depend on one relation only; remember
+                    # how to delta-patch their views after updates
+                    for vid in group_plan.group.view_ids:
+                        sig = sigs[vid]
+                        if sig.cacheable and sig.leaf_structure is not None:
+                            recipes[vid] = LeafRecipe(
+                                plan=group_plan,
+                                view_id=vid,
+                                dyn=tuple(dyn),
+                                leaf_structure=sig.leaf_structure,
+                            )
+            report.skipped_groups = len(skip)
+
+        def handoff(vid: int, data: ViewData) -> None:
+            # an interior view just lost its last in-batch consumer:
+            # admit it to the cross-run cache instead of dropping it
+            if report is not None and report.events.get(vid) == "miss":
+                cache.put(sigs[vid], data, recipe=recipes.get(vid))
+
         store = ViewStore(
             consumers=plan.view_consumers(),
             pinned=plan.output_view_ids(),
             retain_all=retain_interior,
+            on_evict=handoff if cache is not None else None,
         )
+        for vid, data in preloaded.items():
+            store.put(vid, data)
         scheduler = DataflowScheduler(n_workers=self.n_threads)
 
         def task(group_id: int) -> Dict[int, ViewData]:
+            if group_id in skip:
+                return {}  # every output of this group came from cache
             group_plan = plan.group_plans[group_id]
             return self.backend.run_group(
                 GroupTask(
@@ -332,7 +456,13 @@ class LMFAO:
             )
 
         scheduler.run(plan.dependencies(), task, publish)
-        return store
+        if cache is not None:
+            # views still resident (pinned outputs; all views when the
+            # store retains) that were cache misses are admitted too
+            for vid, data in store.items():
+                if report.events.get(vid) == "miss":
+                    cache.put(sigs[vid], data, recipe=recipes.get(vid))
+        return store, report
 
     def _execute(self, plan: EnginePlan, dyn: Sequence) -> ViewStore:
         """Back-compat alias retained for the pre-executor call sites.

@@ -16,6 +16,12 @@ Views that outlive execution opt out of eviction in two ways:
   :class:`repro.engine.ivm.IncrementalEngine`) keep every view so deltas
   can later be merged against any group's inputs.
 
+Eviction need not mean the data is lost: an ``on_evict`` callback turns
+the drop into a *handoff* — the engine uses it to move interior views
+into the cross-run :class:`~repro.engine.viewcache.cache.ViewCache`
+the moment their last in-batch consumer finishes, instead of
+unconditionally discarding them.
+
 The store is thread-safe: the dataflow scheduler publishes finished
 groups from its completion loop while worker threads snapshot inputs
 for groups still in flight.  :class:`ViewData` values are treated as
@@ -32,7 +38,15 @@ domain-parallel backends and the IVM layer.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+)
 
 import numpy as np
 
@@ -118,6 +132,11 @@ class ViewStore:
     ``retain_all=True``).  Views absent from ``consumers`` are never
     evicted — eviction is strictly an opt-in optimization.
 
+    ``on_evict`` (optional) is called as ``on_evict(vid, data)`` for
+    every view dropped by ref-counted eviction, outside the store lock,
+    from the thread that triggered the eviction.  The engine hands
+    evicted interior views to the cross-run view cache this way.
+
     The mapping protocol (``store[vid]``, ``vid in store``, ``len``,
     iteration, ``items``) is supported so the store drops in wherever a
     plain ``Dict[int, ViewData]`` was used before.
@@ -129,12 +148,14 @@ class ViewStore:
         pinned: Iterable[int] = (),
         *,
         retain_all: bool = False,
+        on_evict: Optional[Callable[[int, ViewData], None]] = None,
     ):
         self._data: Dict[int, ViewData] = {}
         self._lock = threading.Lock()
         self._remaining: Dict[int, int] = dict(consumers or {})
         self._pinned = set(pinned)
         self.retain_all = retain_all
+        self._on_evict = on_evict
         #: ids of views dropped by ref-counted eviction (for tests/stats)
         self.evicted: set = set()
 
@@ -235,8 +256,10 @@ class ViewStore:
 
         Called by the engine once per completed view group with that
         group's input view ids; inputs whose remaining-consumer count
-        hits zero are evicted unless pinned.
+        hits zero are evicted unless pinned.  Evicted views are handed
+        to ``on_evict`` (when configured) after the lock is released.
         """
+        handoff: List[tuple] = []
         with self._lock:
             for vid in input_view_ids:
                 if vid not in self._remaining:
@@ -248,8 +271,12 @@ class ViewStore:
                     and vid not in self._pinned
                     and vid in self._data
                 ):
-                    del self._data[vid]
+                    data = self._data.pop(vid)
                     self.evicted.add(vid)
+                    if self._on_evict is not None:
+                        handoff.append((vid, data))
+        for vid, data in handoff:
+            self._on_evict(vid, data)
 
     def remaining_consumers(self, vid: int) -> Optional[int]:
         with self._lock:

@@ -75,14 +75,18 @@ def _explain_views(plan: EnginePlan) -> List[str]:
 
 def _explain_groups(plan: EnginePlan) -> List[str]:
     lines = ["", "view groups (Group Views / Multi-Output):"]
-    levels = plan.grouped.execution_levels()
-    for level_index, level in enumerate(levels):
-        for gid in sorted(level):
-            group = plan.grouped.groups[gid]
-            lines.append(
-                f"  level {level_index}: group {group.id} @ {group.node} "
-                f"computes views {sorted(group.view_ids)}"
-            )
+    # dependency depth, for display only — execution itself is dataflow
+    # scheduled, not level-stepped
+    level_of: Dict[int, int] = {}
+    for group in plan.grouped.groups:  # topological order
+        level_of[group.id] = max(
+            (level_of[dep] + 1 for dep in group.depends_on), default=0
+        )
+    for group in plan.grouped.groups:
+        lines.append(
+            f"  level {level_of[group.id]}: group {group.id} @ "
+            f"{group.node} computes views {sorted(group.view_ids)}"
+        )
     return lines
 
 

@@ -34,7 +34,14 @@ class ViewGroup:
 
 @dataclass
 class GroupedPlan:
-    """All view groups in a topological execution order."""
+    """All view groups in a topological execution order.
+
+    ``groups`` is ordered so that every group appears after all groups
+    it depends on — consumers may simply iterate it front to back.  The
+    old level-barrier API (``execution_levels()``) is gone: scheduling
+    is the dependency-counting
+    :class:`~repro.engine.executor.DataflowScheduler`'s job now.
+    """
 
     groups: List[ViewGroup]
     #: group id per view id
@@ -43,21 +50,6 @@ class GroupedPlan:
     @property
     def n_groups(self) -> int:
         return len(self.groups)
-
-    def execution_levels(self) -> List[List[int]]:
-        """Group ids layered so that each level only depends on earlier
-        levels — independent groups within a level can run in parallel."""
-        level_of: Dict[int, int] = {}
-        for group in self.groups:  # groups are already topological
-            level = 0
-            for dep in group.depends_on:
-                level = max(level, level_of[dep] + 1)
-            level_of[group.id] = level
-        n_levels = max(level_of.values(), default=-1) + 1
-        levels: List[List[int]] = [[] for _ in range(n_levels)]
-        for gid, level in level_of.items():
-            levels[level].append(gid)
-        return levels
 
 
 def group_views(

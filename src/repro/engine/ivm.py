@@ -48,6 +48,7 @@ from ..query.query import QueryBatch
 from .engine import LMFAO, BatchResult, EnginePlan
 from .executor import ViewStore
 from .interpreter import ViewData
+from .viewcache.cache import ViewCache
 
 
 @dataclass
@@ -108,6 +109,13 @@ class IncrementalEngine:
     why).  Input relations are kept in user row order (``sort_inputs``
     is off) so ``DeltaBatch.delete_indices`` always refer to the row
     numbering the caller observes.
+
+    ``view_cache`` (optional) attaches a cross-session
+    :class:`~repro.engine.viewcache.cache.ViewCache`: every applied
+    delta is forwarded to :meth:`ViewCache.on_delta`, which evicts or
+    delta-patches exactly the cached views whose relation footprint
+    contains the updated relation, and the engine's (re)materialization
+    runs serve from / feed back into the same cache.
     """
 
     def __init__(
@@ -119,6 +127,7 @@ class IncrementalEngine:
         compile: bool = True,
         n_threads: int = 1,
         partition_threshold: int = 20_000,
+        view_cache: Optional[ViewCache] = None,
     ):
         if root is None:
             root = max(database, key=lambda r: r.n_rows).name
@@ -131,8 +140,10 @@ class IncrementalEngine:
             compile=compile,
             n_threads=n_threads,
             partition_threshold=partition_threshold,
+            view_cache=view_cache,
         )
         self.root = root
+        self.view_cache = view_cache
         self._cache: Dict[tuple, _CachedBatch] = {}
 
     # -- catalog ------------------------------------------------------------
@@ -212,6 +223,11 @@ class IncrementalEngine:
         if not applied:
             return report
         self.engine.database = database
+        if self.view_cache is not None:
+            # reconcile the cross-session cache first, so the
+            # recompute fallback below can already hit patched leaves
+            for step in applied:
+                self.view_cache.on_delta(step)
         for entry in self._cache.values():
             t0 = time.perf_counter()
             if self._mergeable(entry, report.relations):

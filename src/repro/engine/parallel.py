@@ -1,4 +1,4 @@
-"""Back-compat shim for the old Parallelization-layer module.
+"""Deprecated back-compat shim for the old Parallelization-layer module.
 
 The Parallelization layer (paper §1.2) now lives in the executor
 subsystem: task parallelism is the dependency-counting
@@ -8,12 +8,21 @@ is implemented inside the execution backends
 (:mod:`repro.engine.executor.backend`).
 
 This module re-exports the distributive-SUM merge primitive under its
-historical import path; new code should import from
-:mod:`repro.engine.executor`.
+historical import path and warns on import; import from
+:mod:`repro.engine.executor` instead.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from .executor.store import merge_partials
+
+warnings.warn(
+    "repro.engine.parallel is deprecated; import merge_partials from "
+    "repro.engine.executor instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["merge_partials"]

@@ -1,0 +1,56 @@
+"""Cross-workload view cache & fusion: shareable materialized views.
+
+Three pieces, layered on the executor subsystem:
+
+* :mod:`~repro.engine.viewcache.signature` — canonical *content
+  signatures* for views (relation fingerprints + structure), so two
+  independently planned batches agree on structurally equal views;
+* :mod:`~repro.engine.viewcache.cache` — :class:`ViewCache`, a
+  byte-budget LRU of materialized views keyed by content digest, with
+  hit/miss/eviction stats, pinning, and delta-driven invalidation /
+  leaf patching;
+* :mod:`~repro.engine.viewcache.fusion` — :class:`WorkloadSession`,
+  which fuses several query batches into one deduplicated DAG, executes
+  shared views once, and fans results back out per workload.
+"""
+
+from .cache import (
+    DEFAULT_BUDGET_BYTES,
+    CacheRunReport,
+    CacheStats,
+    LeafRecipe,
+    ViewCache,
+    view_nbytes,
+)
+from .signature import (
+    ViewSignature,
+    database_fingerprint,
+    relation_fingerprint,
+    view_signatures,
+)
+
+__all__ = [
+    "CacheRunReport",
+    "CacheStats",
+    "DEFAULT_BUDGET_BYTES",
+    "FusionReport",
+    "LeafRecipe",
+    "SessionResult",
+    "ViewCache",
+    "ViewSignature",
+    "WorkloadSession",
+    "database_fingerprint",
+    "relation_fingerprint",
+    "view_nbytes",
+    "view_signatures",
+]
+
+
+def __getattr__(name):
+    # fusion imports the engine facade, which imports this package; the
+    # deferred import breaks the cycle without an import-order landmine
+    if name in ("WorkloadSession", "SessionResult", "FusionReport"):
+        from . import fusion
+
+        return getattr(fusion, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,393 @@
+"""The cross-workload view cache: content-addressed materialized views.
+
+A :class:`ViewCache` maps content digests
+(:mod:`~repro.engine.viewcache.signature`) to materialized
+:class:`~repro.engine.interpreter.ViewData` under a byte budget with
+LRU eviction.  Because keys are content addresses, the cache is safe to
+share across batches, models, engines, and sessions: a hit is *by
+construction* the same data the engine would recompute.
+
+Consistency under updates is event-driven: the incremental-maintenance
+layer forwards every applied :class:`~repro.data.database.DeltaBatch`
+to :meth:`ViewCache.on_delta`, which touches exactly the entries whose
+relation footprint contains the updated relation —
+
+* *leaf* entries (views with no incoming views) are **delta-patched**:
+  the cached group plan is re-evaluated over only the delta partition
+  and merged through :meth:`ViewStore.merge_parts` (retractions as
+  negated payload), then re-keyed under the updated relation's
+  fingerprint so the next run's signatures find them;
+* all other affected entries are **evicted** (their digests hang off
+  child digests recursively; patching them would be re-execution by
+  another name).
+
+Entries whose footprint does not contain the updated relation keep
+their digests — their content addresses still match — and survive.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...data.database import AppliedDelta
+from ..interpreter import ViewData, execute_plan, execute_plan_delta
+from ..plan import GroupPlan
+from .signature import ViewSignature, leaf_digest, relation_fingerprint
+
+#: default cache budget: 64 MiB of view payload
+DEFAULT_BUDGET_BYTES = 64 << 20
+
+
+def view_nbytes(data: ViewData) -> int:
+    """Approximate in-memory size of one materialized view."""
+    total = sum(col.nbytes for col in data.key_cols)
+    total += sum(col.nbytes for col in data.agg_cols)
+    if data.support is not None:
+        total += data.support.nbytes
+    return int(total)
+
+
+@dataclass
+class LeafRecipe:
+    """How to delta-patch a cached leaf view.
+
+    ``plan`` is the multi-output group plan that produced the view (it
+    has no input views, so it can be re-run over any partition of its
+    node relation); ``dyn`` is the dynamic-function table the plan was
+    executed with.  ``leaf_structure`` is the structural half of the
+    view's digest, used to re-key the patched entry against the updated
+    relation fingerprint.
+    """
+
+    plan: GroupPlan
+    view_id: int
+    dyn: tuple
+    leaf_structure: tuple
+
+
+@dataclass
+class CacheStats:
+    """Counters over the life of one :class:`ViewCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0  # LRU byte-budget evictions
+    invalidations: int = 0  # delta-driven evictions
+    patches: int = 0  # delta-patched (and re-keyed) leaf entries
+    rejects: int = 0  # entries larger than the whole budget
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "patches": self.patches,
+            "rejects": self.rejects,
+        }
+
+
+@dataclass
+class _Entry:
+    sig: ViewSignature
+    data: ViewData
+    nbytes: int
+    recipe: Optional[LeafRecipe] = None
+    pinned: bool = False
+
+
+@dataclass
+class CacheRunReport:
+    """Per-view cache outcome of one engine run.
+
+    ``events`` maps view id to ``"hit"``, ``"miss"`` or
+    ``"uncacheable"``; ``names`` carries the views' display names for
+    reports.
+    """
+
+    events: Dict[int, str] = field(default_factory=dict)
+    names: Dict[int, str] = field(default_factory=dict)
+    skipped_groups: int = 0
+    total_groups: int = 0
+
+    @property
+    def n_hits(self) -> int:
+        return sum(1 for e in self.events.values() if e == "hit")
+
+    @property
+    def n_misses(self) -> int:
+        return sum(1 for e in self.events.values() if e == "miss")
+
+    def lines(self) -> List[str]:
+        """One ``status  view-name`` line per view, hits first."""
+        order = {"hit": 0, "miss": 1, "uncacheable": 2}
+        return [
+            f"  {event:11} {self.names.get(vid, f'view {vid}')}"
+            for vid, event in sorted(
+                self.events.items(),
+                key=lambda kv: (order[kv[1]], kv[0]),
+            )
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CacheRunReport({self.n_hits} hits, {self.n_misses} misses, "
+            f"{self.skipped_groups}/{self.total_groups} groups skipped)"
+        )
+
+
+class ViewCache:
+    """A byte-budget LRU cache of materialized views, by content digest.
+
+    Thread-safe: engine schedulers publish evicted interior views from
+    worker completion threads while the engine thread probes for hits.
+    """
+
+    def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES):
+        if budget_bytes <= 0:
+            raise ValueError(
+                f"cache budget must be positive, got {budget_bytes}"
+            )
+        self.budget_bytes = int(budget_bytes)
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._entries
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def digests(self) -> List[str]:
+        """All cached digests, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def entries_containing(self, relation: str) -> List[str]:
+        """Digests of entries whose relation footprint includes ``relation``."""
+        with self._lock:
+            return [
+                digest
+                for digest, entry in self._entries.items()
+                if relation in entry.sig.relations
+            ]
+
+    # -- lookup / insert ---------------------------------------------------
+
+    def get(self, digest: str) -> Optional[ViewData]:
+        """The cached view for a digest, or None (counts hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self.stats.hits += 1
+            return entry.data
+
+    def peek(self, digest: str) -> Optional[ViewData]:
+        """Like :meth:`get` but without touching LRU order or stats."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            return None if entry is None else entry.data
+
+    def put(
+        self,
+        sig: ViewSignature,
+        data: ViewData,
+        recipe: Optional[LeafRecipe] = None,
+    ) -> bool:
+        """Admit one materialized view; returns whether it was cached.
+
+        Uncacheable signatures and views larger than the whole budget
+        are rejected; admitting evicts least-recently-used unpinned
+        entries until the budget holds.
+        """
+        if not sig.cacheable:
+            return False
+        nbytes = view_nbytes(data)
+        with self._lock:
+            if nbytes > self.budget_bytes:
+                self.stats.rejects += 1
+                return False
+            old = self._entries.pop(sig.digest, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[sig.digest] = _Entry(
+                sig=sig,
+                data=data,
+                nbytes=nbytes,
+                recipe=recipe,
+                pinned=False if old is None else old.pinned,
+            )
+            self._bytes += nbytes
+            self.stats.puts += 1
+            self._shrink_locked()
+        return True
+
+    def _shrink_locked(self) -> None:
+        while self._bytes > self.budget_bytes:
+            victim = next(
+                (
+                    digest
+                    for digest, entry in self._entries.items()
+                    if not entry.pinned
+                ),
+                None,
+            )
+            if victim is None:  # everything pinned: allow overflow
+                return
+            self._bytes -= self._entries.pop(victim).nbytes
+            self.stats.evictions += 1
+
+    # -- pinning -----------------------------------------------------------
+
+    def pin(self, digest: str) -> None:
+        """Exempt an entry from LRU eviction (idempotent)."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None:
+                entry.pinned = True
+
+    def unpin(self, digest: str) -> None:
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None:
+                entry.pinned = False
+            self._shrink_locked()
+
+    def is_pinned(self, digest: str) -> bool:
+        with self._lock:
+            entry = self._entries.get(digest)
+            return entry is not None and entry.pinned
+
+    # -- invalidation ------------------------------------------------------
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def invalidate(self, relation: str) -> int:
+        """Drop every entry whose footprint contains ``relation``."""
+        with self._lock:
+            victims = [
+                digest
+                for digest, entry in self._entries.items()
+                if relation in entry.sig.relations
+            ]
+            for digest in victims:
+                self._bytes -= self._entries.pop(digest).nbytes
+            self.stats.invalidations += len(victims)
+        return len(victims)
+
+    def on_delta(self, applied: AppliedDelta) -> Dict[str, str]:
+        """Reconcile the cache with one applied delta.
+
+        Returns {old digest: "patched" | "evicted"} for the affected
+        entries; untouched entries (footprint disjoint from the updated
+        relation) do not appear.
+        """
+        relation = applied.relation
+        new_fp = relation_fingerprint(applied.database.relation(relation))
+        with self._lock:
+            affected = [
+                (digest, entry)
+                for digest, entry in self._entries.items()
+                if relation in entry.sig.relations
+            ]
+        outcome: Dict[str, str] = {}
+        for digest, entry in affected:
+            patched = self._patch(entry, applied)
+            with self._lock:
+                victim = self._entries.pop(digest, None)
+                if victim is not None:
+                    self._bytes -= victim.nbytes
+            if patched is None:
+                with self._lock:
+                    self.stats.invalidations += 1
+                outcome[digest] = "evicted"
+                continue
+            new_sig = ViewSignature(
+                digest=leaf_digest(entry.recipe.leaf_structure, new_fp),
+                relations=entry.sig.relations,
+                cacheable=True,
+                leaf_structure=entry.recipe.leaf_structure,
+            )
+            admitted = self.put(new_sig, patched, recipe=entry.recipe)
+            if not admitted:  # e.g. the patched view outgrew the budget
+                with self._lock:
+                    self.stats.invalidations += 1
+                outcome[digest] = "evicted"
+                continue
+            with self._lock:
+                self.stats.patches += 1
+            if victim is not None and victim.pinned:
+                self.pin(new_sig.digest)
+            outcome[digest] = "patched"
+        return outcome
+
+    def _patch(
+        self, entry: _Entry, applied: AppliedDelta
+    ) -> Optional[ViewData]:
+        """Delta-patched data for a leaf entry, or None (must evict).
+
+        Patching a retraction without per-key support counts would leave
+        zero-valued group keys a from-scratch run never emits, so such
+        entries are evicted instead.
+        """
+        recipe = entry.recipe
+        if recipe is None:
+            return None
+        has_deletes = (
+            applied.deleted is not None and applied.deleted.n_rows > 0
+        )
+        if has_deletes and entry.data.support is None:
+            return None
+        parts: List[Dict[int, ViewData]] = [{recipe.view_id: entry.data}]
+        if applied.inserted is not None and applied.inserted.n_rows:
+            produced = execute_plan(
+                recipe.plan, applied.inserted, {}, recipe.dyn
+            )
+            parts.append({recipe.view_id: produced[recipe.view_id]})
+        if has_deletes:
+            produced = execute_plan_delta(
+                recipe.plan, applied.deleted, {}, recipe.dyn, sign=-1
+            )
+            parts.append({recipe.view_id: produced[recipe.view_id]})
+        if len(parts) == 1:  # empty delta: data unchanged
+            return entry.data
+        # reuse the executor's merge machinery (ViewStore.merge_parts):
+        # distributive-SUM re-aggregation + support-count key retirement
+        from ..executor.store import ViewStore
+
+        scratch = ViewStore()
+        merged = scratch.merge_parts(
+            parts, retire_dead=entry.data.support is not None
+        )
+        return merged[recipe.view_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return (
+                f"ViewCache({len(self._entries)} views, "
+                f"{self._bytes / (1 << 20):.1f}/"
+                f"{self.budget_bytes / (1 << 20):.1f} MiB, "
+                f"hits={self.stats.hits} misses={self.stats.misses})"
+            )

@@ -1,0 +1,221 @@
+"""Cross-workload fusion: execute several query batches as one DAG.
+
+LMFAO's sharing (paper §3.4) stops at the boundary of one
+:class:`QueryBatch`: covar, linear-regression, and decision-tree
+batches over the same dataset each rebuild near-identical view DAGs
+from scratch.  A :class:`WorkloadSession` removes that boundary by
+*fusing* the batches — every query is renamed ``workload::query`` and
+the union is planned as one mega-batch, so the Merge Views layer's own
+memo/bucketing deduplicates structurally equal views **across**
+workloads.  Shared views execute once on whatever backend the engine
+uses; results fan back out per workload with the original query names.
+
+A :class:`~repro.engine.viewcache.cache.ViewCache` attached to the
+session extends the sharing across *runs*: the fused plan's views are
+content-addressed, so a warm re-run (or a later session over the same
+data) serves them from cache instead of recomputing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ...data.database import Database
+from ...jointree.join_tree import JoinTree
+from ...query.query import Query, QueryBatch
+from ..engine import LMFAO, BatchResult
+from .cache import ViewCache
+
+#: joins workload and query names in the fused batch
+WORKLOAD_SEPARATOR = "::"
+
+
+@dataclass
+class FusionReport:
+    """How much the fused plan shares versus independent plans."""
+
+    n_workloads: int
+    n_queries: int
+    views_fused: int
+    views_independent: int
+    groups_fused: int
+    groups_independent: int
+
+    @property
+    def views_saved(self) -> int:
+        return self.views_independent - self.views_fused
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FusionReport({self.n_workloads} workloads, "
+            f"{self.n_queries} queries: {self.views_fused} fused views vs "
+            f"{self.views_independent} independent, "
+            f"{self.views_saved} saved)"
+        )
+
+
+class SessionResult(dict):
+    """Workload name -> :class:`BatchResult`, plus session-level timing."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.plan_seconds: float = 0.0
+        self.execute_seconds: float = 0.0
+        self.fused: bool = False
+        self.cache_report = None
+
+
+class WorkloadSession:
+    """Several query batches sharing one engine, one DAG, one cache.
+
+    Usage::
+
+        session = WorkloadSession(db, tree, cache=ViewCache(64 << 20))
+        session.add_workload("covar", covar_batch)
+        session.add_workload("linreg", linreg_batch)
+        session.add_workload("trees", tree_node_batch)
+        results = session.run()          # fused: shared views run once
+        covar_results = results["covar"]  # plain BatchResult per workload
+
+    ``run_independent()`` executes each batch separately through the
+    same engine (and cache, if any) — the baseline fusion is measured
+    against, and a way to share views across workloads purely through
+    the content-addressed cache.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        join_tree: Optional[JoinTree] = None,
+        *,
+        cache: Optional[ViewCache] = None,
+        engine: Optional[LMFAO] = None,
+        **engine_kwargs,
+    ):
+        if engine is not None:
+            if cache is not None and engine.view_cache is not cache:
+                raise ValueError(
+                    "pass either an engine or a cache, not both; attach "
+                    "the cache via LMFAO(view_cache=...) instead"
+                )
+            self.engine = engine
+        else:
+            self.engine = LMFAO(
+                database, join_tree, view_cache=cache, **engine_kwargs
+            )
+        self._workloads: Dict[str, QueryBatch] = {}
+        self._fused: Optional[QueryBatch] = None
+
+    @property
+    def cache(self) -> Optional[ViewCache]:
+        return self.engine.view_cache
+
+    @property
+    def workload_names(self) -> List[str]:
+        return list(self._workloads)
+
+    def close(self) -> None:
+        self.engine.close()
+
+    def __enter__(self) -> "WorkloadSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- workload registry -------------------------------------------------
+
+    def add_workload(self, name: str, batch: QueryBatch) -> "WorkloadSession":
+        """Register one named batch; returns self for chaining."""
+        if WORKLOAD_SEPARATOR in name:
+            raise ValueError(
+                f"workload name {name!r} may not contain "
+                f"{WORKLOAD_SEPARATOR!r}"
+            )
+        if name in self._workloads:
+            raise ValueError(f"duplicate workload name {name!r}")
+        self._workloads[name] = batch
+        self._fused = None  # invalidate the memoized fused batch
+        return self
+
+    def fused_batch(self) -> QueryBatch:
+        """The union of all workloads, queries renamed ``workload::query``.
+
+        Aggregate objects are shared with the source batches, so dynamic
+        functions keep their identities and plan-cache slots.
+        """
+        if not self._workloads:
+            raise ValueError("session has no workloads")
+        if self._fused is None:
+            self._fused = QueryBatch(
+                [
+                    Query(
+                        f"{workload}{WORKLOAD_SEPARATOR}{query.name}",
+                        query.group_by,
+                        query.aggregates,
+                    )
+                    for workload, batch in self._workloads.items()
+                    for query in batch
+                ]
+            )
+        return self._fused
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> SessionResult:
+        """Execute all workloads as one fused DAG; fan results back out."""
+        fused = self.fused_batch()
+        merged = self.engine.run(fused)
+        result = self._split(merged)
+        result.fused = True
+        return result
+
+    def run_independent(self) -> SessionResult:
+        """Execute each workload as its own batch (no DAG-level fusion)."""
+        result = SessionResult()
+        for workload, batch in self._workloads.items():
+            batch_result = self.engine.run(batch)
+            result[workload] = batch_result
+            result.plan_seconds += batch_result.plan_seconds
+            result.execute_seconds += batch_result.execute_seconds
+            result.cache_report = batch_result.cache_report
+        return result
+
+    def _split(self, merged: BatchResult) -> SessionResult:
+        result = SessionResult()
+        for workload in self._workloads:
+            result[workload] = BatchResult()
+        for fused_name, relation in merged.items():
+            workload, _, query_name = fused_name.partition(
+                WORKLOAD_SEPARATOR
+            )
+            result[workload][query_name] = relation.rename(query_name)
+        result.plan_seconds = merged.plan_seconds
+        result.execute_seconds = merged.execute_seconds
+        result.cache_report = merged.cache_report
+        for batch_result in result.values():
+            batch_result.plan_seconds = merged.plan_seconds
+            batch_result.execute_seconds = merged.execute_seconds
+            batch_result.cache_report = merged.cache_report
+        return result
+
+    # -- reporting -----------------------------------------------------------
+
+    def fusion_report(self) -> FusionReport:
+        """Plan-level sharing statistics: fused vs independent view DAGs."""
+        fused_plan = self.engine.plan(self.fused_batch())
+        views_independent = 0
+        groups_independent = 0
+        for batch in self._workloads.values():
+            plan = self.engine.plan(batch)
+            views_independent += plan.decomposed.n_views
+            groups_independent += plan.grouped.n_groups
+        return FusionReport(
+            n_workloads=len(self._workloads),
+            n_queries=len(self.fused_batch()),
+            views_fused=fused_plan.decomposed.n_views,
+            views_independent=views_independent,
+            groups_fused=fused_plan.grouped.n_groups,
+            groups_independent=groups_independent,
+        )

@@ -1,5 +1,8 @@
 """ViewStore: mapping protocol, ref-counted eviction, pinning, merging."""
 
+import sys
+import warnings
+
 import numpy as np
 import pytest
 
@@ -100,6 +103,52 @@ class TestEviction:
         assert 1 not in store
         assert snap[1].agg_cols[0].tolist() == [1.0, 2.0]
 
+    def test_two_consumers_pin_same_interior_view(self):
+        """Both consumers of one interior view pin it: exhausting the
+        ref count must not evict, and a late unpin only takes effect on
+        the next consumer-finished notification."""
+        store = ViewStore(consumers={1: 2})
+        store[1] = scalar_view(7.0)
+        store.pin(1)  # consumer A wants it after the batch
+        store.pin(1)  # consumer B too (idempotent)
+        store.group_finished([1])
+        store.group_finished([1])
+        assert 1 in store, "pinned view evicted at refcount zero"
+        assert store.evicted == set()
+        assert store.is_pinned(1)
+        store.unpin(1)
+        assert 1 in store, "unpin alone must not drop the view"
+        store.group_finished([1])  # a straggler consumer finishes
+        assert 1 not in store
+        assert store.evicted == {1}
+
+
+class TestEvictionHandoff:
+    def test_on_evict_receives_evicted_views(self):
+        received = {}
+        store = ViewStore(
+            consumers={1: 1},
+            on_evict=lambda vid, data: received.__setitem__(vid, data),
+        )
+        store[1] = grouped_view([0, 1], [3.0, 4.0])
+        store.group_finished([1])
+        assert 1 not in store
+        assert received[1].agg_cols[0].tolist() == [3.0, 4.0]
+
+    def test_on_evict_skips_pinned_and_surviving_views(self):
+        received = {}
+        store = ViewStore(
+            consumers={1: 2, 2: 1},
+            pinned=[2],
+            on_evict=lambda vid, data: received.__setitem__(vid, data),
+        )
+        store[1] = scalar_view(1.0)
+        store[2] = scalar_view(2.0)
+        store.group_finished([1, 2])  # 1 has another consumer; 2 pinned
+        assert received == {}
+        store.group_finished([1])
+        assert set(received) == {1}
+
 
 class TestMergeParts:
     def test_merge_parts_stores_merged_views(self):
@@ -137,12 +186,55 @@ class TestMergeParts:
         )
         assert store[1].key_cols[0].tolist() == [0, 1]
 
+    def test_merge_parts_with_empty_delta_partition(self):
+        """An empty delta partition (no view entries at all) is a no-op
+        merge — the IVM layer skips empty deltas, but the primitive must
+        still be safe against them."""
+        store = ViewStore()
+        store[1] = grouped_view([0, 1], [1.0, 2.0])
+        merged = store.merge_parts([store.snapshot([1]), {}])
+        assert merged[1].key_cols[0].tolist() == [0, 1]
+        assert merged[1].agg_cols[0].tolist() == [1.0, 2.0]
+
+    def test_merge_parts_with_zero_row_delta_views(self):
+        """A delta partition whose views carry zero rows merges cleanly."""
+        store = ViewStore()
+        store[1] = grouped_view([0, 1], [1.0, 2.0])
+        empty = grouped_view(
+            np.array([], dtype=np.int64), np.array([], dtype=np.float64)
+        )
+        merged = store.merge_parts([store.snapshot([1]), {1: empty}])
+        assert merged[1].key_cols[0].tolist() == [0, 1]
+        assert merged[1].agg_cols[0].tolist() == [1.0, 2.0]
+
+    def test_merge_parts_all_retracted_partition(self):
+        """Retracting every contributing row retires every group key:
+        the maintained view is empty, exactly like a from-scratch run
+        over the emptied relation."""
+        store = ViewStore()
+        store[1] = grouped_view([0, 1], [1.0, 2.0], support=[1.0, 1.0])
+        retract_all = grouped_view(
+            [0, 1], [-1.0, -2.0], support=[-1.0, -1.0]
+        )
+        merged = store.merge_parts(
+            [store.snapshot([1]), {1: retract_all}], retire_dead=True
+        )
+        assert merged[1].key_cols[0].tolist() == []
+        assert merged[1].agg_cols[0].tolist() == []
+        assert merged[1].support.tolist() == []
+        assert store[1].n_rows == 0
+
 
 class TestMergePrimitives:
     """merge_partials / retire_dead_keys at their new home."""
 
     def test_merge_partials_reexported(self):
-        from repro.engine.parallel import merge_partials as legacy
+        sys.modules.pop("repro.engine.parallel", None)
+        with warnings.catch_warnings():
+            # the shim's DeprecationWarning is asserted in
+            # tests/engine/test_parallel.py; here we only need the alias
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.engine.parallel import merge_partials as legacy
 
         assert legacy is merge_partials
 

@@ -74,7 +74,10 @@ class TestGrouping:
                     if dep_group != group.id:
                         assert dep_group in group.depends_on
 
-    def test_execution_levels_topological(self, toy_db):
+    def test_groups_listed_topologically(self, toy_db):
+        """``grouped.groups`` is a valid execution order by itself —
+        every dependency appears before its consumer (the contract the
+        dataflow scheduler and hand-rolled test loops rely on)."""
         batch = QueryBatch(
             [
                 Query("a", ["city"], [Aggregate.count()]),
@@ -82,11 +85,9 @@ class TestGrouping:
             ]
         )
         _, grouped = grouped_for(toy_db, batch)
-        levels = grouped.execution_levels()
-        position = {}
-        for level_index, level in enumerate(levels):
-            for gid in level:
-                position[gid] = level_index
+        position = {
+            group.id: index for index, group in enumerate(grouped.groups)
+        }
         for group in grouped.groups:
             for dep in group.depends_on:
                 assert position[dep] < position[group.id]

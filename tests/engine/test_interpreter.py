@@ -68,17 +68,16 @@ class TestExecutePlan:
         )
         decomposed, grouped, plans = make_plan(toy_db, batch)
         view_data = {}
-        for level in grouped.execution_levels():
-            for gid in level:
-                plan = plans[gid]
-                incoming = {
-                    vid: view_data[vid] for vid in plan.input_view_ids
-                }
-                view_data.update(
-                    execute_plan(
-                        plan, toy_db.relation(plan.node), incoming, []
-                    )
+        for group in grouped.groups:  # topological order
+            plan = plans[group.id]
+            incoming = {
+                vid: view_data[vid] for vid in plan.input_view_ids
+            }
+            view_data.update(
+                execute_plan(
+                    plan, toy_db.relation(plan.node), incoming, []
                 )
+            )
         output = next(
             view_data[v.id]
             for v in decomposed.views

@@ -1,16 +1,25 @@
 """Parallelization: partition merging and threaded execution."""
 
-from concurrent.futures import ThreadPoolExecutor
+import importlib
+import sys
 
 import numpy as np
 import pytest
 
 from repro import LMFAO, Aggregate, Query, QueryBatch
 from repro.baselines import MaterializedEngine
+from repro.engine.executor import merge_partials
 from repro.engine.interpreter import ViewData
-from repro.engine.parallel import merge_partials
 
 from .helpers import assert_results_equal
+
+
+class TestDeprecatedShim:
+    def test_parallel_import_warns_and_reexports(self):
+        sys.modules.pop("repro.engine.parallel", None)
+        with pytest.warns(DeprecationWarning, match="repro.engine.executor"):
+            legacy = importlib.import_module("repro.engine.parallel")
+        assert legacy.merge_partials is merge_partials
 
 
 class TestMergePartials:

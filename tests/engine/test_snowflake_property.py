@@ -121,18 +121,16 @@ class TestSnowflakeDifferential:
         from repro.engine.plan import build_group_plan
 
         view_data = {}
-        for level in grouped.execution_levels():
-            for gid in level:
-                group = grouped.groups[gid]
-                plan = build_group_plan(
-                    group, decomposed.views, db.relation(group.node), {}
-                )
-                incoming = {
-                    vid: view_data[vid] for vid in plan.input_view_ids
-                }
-                view_data.update(
-                    execute_plan(plan, db.relation(group.node), incoming, [])
-                )
+        for group in grouped.groups:  # topological order
+            plan = build_group_plan(
+                group, decomposed.views, db.relation(group.node), {}
+            )
+            incoming = {
+                vid: view_data[vid] for vid in plan.input_view_ids
+            }
+            view_data.update(
+                execute_plan(plan, db.relation(group.node), incoming, [])
+            )
         # compare the scalar/count totals against the default engine
         default = LMFAO(db).run(batch)
         for output in decomposed.outputs:

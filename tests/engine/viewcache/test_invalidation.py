@@ -1,0 +1,167 @@
+"""Delta-driven cache invalidation: footprint-exact, patch-or-evict.
+
+The acceptance property: after an IVM ``DeltaBatch`` on a relation,
+only cached views whose subtree contains that relation are evicted or
+delta-patched — everything else keeps its content address — and a
+subsequent cache-served run matches a cold recomputation.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    LMFAO,
+    Aggregate,
+    DeltaBatch,
+    IncrementalEngine,
+    Query,
+    QueryBatch,
+    ViewCache,
+)
+
+from ..helpers import assert_results_equal
+
+
+def mixed_batch():
+    """Queries whose views span all three toy relations."""
+    return QueryBatch(
+        [
+            Query("n", [], [Aggregate.count()]),
+            Query("by_city", ["city"], [Aggregate.of("units", name="u")]),
+            Query("by_date", ["date"], [Aggregate.of("price", name="p")]),
+            Query(
+                "by_store",
+                ["store"],
+                [Aggregate.of("units", "size", name="us")],
+            ),
+        ]
+    )
+
+
+def stores_insert():
+    return DeltaBatch.insert(
+        "Stores",
+        {
+            "store": np.array([6]),
+            "city": np.array([2]),
+            "size": np.array([88.0]),
+        },
+    )
+
+
+@pytest.fixture
+def warm_engine(toy_db):
+    """An IncrementalEngine + shared cache with one materialized batch."""
+    cache = ViewCache()
+    engine = IncrementalEngine(toy_db, view_cache=cache)
+    batch = mixed_batch()
+    engine.run(batch)
+    return engine, cache, batch
+
+
+def footprints(engine, batch):
+    """digest -> relation footprint for the batch's cacheable views."""
+    plan = engine.engine.plan(batch)
+    sigs = engine.engine.view_signatures_for(plan)
+    return {
+        sig.digest: sig.relations
+        for sig in sigs.values()
+        if sig.cacheable
+    }
+
+
+class TestFootprintExactness:
+    def test_delta_touches_only_containing_views(self, warm_engine):
+        engine, cache, batch = warm_engine
+        by_digest = footprints(engine, batch)
+        before = set(cache.digests())
+        assert before, "warm-up cached nothing"
+
+        report = engine.apply_delta(stores_insert())
+        assert report.n_changes == 1
+        after = set(cache.digests())
+
+        for digest in before:
+            relations = by_digest[digest]
+            if "Stores" in relations:
+                assert digest not in after, (
+                    f"stale entry with footprint {sorted(relations)} "
+                    "survived a Stores delta"
+                )
+            else:
+                assert digest in after, (
+                    f"entry with footprint {sorted(relations)} was "
+                    "dropped although Stores is not in it"
+                )
+
+    def test_leaf_views_are_patched_not_just_evicted(self, warm_engine):
+        engine, cache, batch = warm_engine
+        engine.apply_delta(stores_insert())
+        assert cache.stats.patches > 0, (
+            "insert-only delta on a leaf relation should patch, "
+            "not evict, its leaf views"
+        )
+        # the patched entries are re-keyed to the *updated* relation
+        # content, so the next run's signatures find them immediately
+        by_digest = footprints(engine, batch)  # new database fingerprints
+        rekeyed = [
+            digest
+            for digest, relations in by_digest.items()
+            if relations == frozenset({"Stores"})
+        ]
+        assert rekeyed
+        for digest in rekeyed:
+            assert digest in cache
+
+    def test_retraction_without_support_evicts_leaves(self, warm_engine):
+        """Leaf views carry no support counts, so a delete delta cannot
+        be patched exactly — those entries must be evicted instead
+        (the recompute fallback then refills the cache under the new
+        content addresses)."""
+        engine, cache, batch = warm_engine
+        stale = set(cache.entries_containing("Stores"))
+        patches_before = cache.stats.patches
+        engine.apply_delta(DeltaBatch.delete("Stores", np.array([0])))
+        assert cache.stats.patches == patches_before
+        assert cache.stats.invalidations >= len(stale) > 0
+        assert stale.isdisjoint(cache.digests())
+
+
+class TestCachedRunMatchesCold:
+    @pytest.mark.parametrize(
+        "delta",
+        [
+            stores_insert(),
+            DeltaBatch.delete("Stores", np.array([1, 3])),
+            DeltaBatch.insert(
+                "Oil",
+                {"date": np.array([25, 26]),
+                 "price": np.array([61.0, 59.5])},
+            ),
+        ],
+        ids=["stores-insert", "stores-delete", "oil-insert"],
+    )
+    def test_cache_served_run_equals_cold_recompute(self, toy_db, delta):
+        cache = ViewCache()
+        engine = IncrementalEngine(toy_db, view_cache=cache)
+        batch = mixed_batch()
+        engine.run(batch)
+        engine.apply_delta(delta)
+
+        # a fresh engine over the updated database, sharing the cache:
+        # it must serve whatever survived/was patched and still agree
+        # with a completely cold engine bit for bit
+        warm = LMFAO(engine.database, sort_inputs=False, view_cache=cache)
+        served = warm.run(batch)
+        cold = LMFAO(engine.database, sort_inputs=False).run(batch)
+        assert_results_equal(served, cold, batch, rtol=1e-9)
+
+    def test_incremental_engine_results_track_deltas(self, toy_db):
+        cache = ViewCache()
+        engine = IncrementalEngine(toy_db, view_cache=cache)
+        batch = mixed_batch()
+        engine.run(batch)
+        engine.apply_delta(stores_insert())
+        maintained = engine.run(batch)
+        cold = IncrementalEngine(engine.database).run(batch)
+        assert_results_equal(maintained, cold, batch, rtol=1e-8)

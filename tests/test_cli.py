@@ -1,5 +1,7 @@
 """The ``python -m repro`` command-line interface."""
 
+import re
+
 import pytest
 
 from repro.__main__ import main
@@ -57,6 +59,92 @@ class TestCli:
     def test_run_rejects_unknown_backend(self):
         with pytest.raises(SystemExit):
             main(["run", "favorita", "covar", "--backend", "gpu"])
+
+    def test_run_needs_some_workload(self):
+        with pytest.raises(SystemExit, match="workload"):
+            main(["--scale", "0.05", "run", "favorita"])
+
+    def test_run_workloads_fused_with_cache(self, capsys):
+        assert main(
+            [
+                "--scale", "0.05",
+                "run", "retailer",
+                "--workloads", "covar,linreg,trees",
+                "--fuse", "--cache-mb", "32",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fused DAG:" in out and "views shared" in out
+        for name in ("covar", "linreg", "trees"):
+            assert name in out
+        assert "view cache:" in out
+        # a cold fused run misses every cacheable view
+        match = re.search(r"per-view report \(fused\): 0 hits, (\d+) misses", out)
+        assert match and int(match.group(1)) > 0
+        assert re.search(r"^\s+miss\s+V\d+\[", out, re.MULTILINE)
+
+    def test_run_workloads_independent_shares_through_cache(self, capsys):
+        assert main(
+            [
+                "--scale", "0.05",
+                "run", "retailer",
+                "--workloads", "covar,linreg",
+                "--cache-mb", "32",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "independent execution" in out
+        # linreg's report must show hits served from covar's views
+        match = re.search(r"per-view report linreg: (\d+) hits", out)
+        assert match, out
+        assert int(match.group(1)) > 0, "linreg served no views from covar"
+
+    def test_run_workloads_without_cache(self, capsys):
+        assert main(
+            [
+                "--scale", "0.05",
+                "run", "favorita",
+                "--workloads", "covar,linreg", "--fuse",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fused DAG:" in out
+        assert "view cache:" not in out
+
+    def test_run_workloads_rejects_backend_all(self):
+        with pytest.raises(SystemExit, match="backend"):
+            main(
+                [
+                    "--scale", "0.05",
+                    "run", "favorita",
+                    "--workloads", "covar,linreg",
+                    "--backend", "all",
+                ]
+            )
+
+    def test_run_workloads_rejects_both_forms(self):
+        with pytest.raises(SystemExit, match="not both"):
+            main(
+                [
+                    "--scale", "0.05",
+                    "run", "favorita", "covar",
+                    "--workloads", "covar,linreg",
+                ]
+            )
+
+    def test_run_workloads_rejects_incremental(self):
+        with pytest.raises(SystemExit, match="single workload"):
+            main(
+                [
+                    "--scale", "0.05",
+                    "run", "favorita",
+                    "--workloads", "covar,linreg", "--incremental",
+                ]
+            )
+
+    def test_run_single_linreg_workload(self, capsys):
+        assert main(["--scale", "0.05", "run", "favorita", "linreg"]) == 0
+        assert "linreg on favorita" in capsys.readouterr().out
 
     def test_plan_mi(self, capsys):
         assert main(["--scale", "0.05", "plan", "favorita", "mi"]) == 0
