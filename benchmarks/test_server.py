@@ -1,0 +1,273 @@
+"""Concurrent analytics service benchmark.
+
+Measures, on the retailer dataset, the two serving-layer numbers the
+server subsystem exists for:
+
+* **coalescing throughput** — a storm of concurrent single-workload
+  requests over a fusion-friendly covar/linreg/trees mix, served with
+  the micro-batching coalescer on (requests fused into shared view
+  DAGs) versus off (every request executes alone).  Acceptance bar:
+  coalescing on sustains >= 1.2x the request throughput;
+* **latency under writes** — p50/p95 query latency while a background
+  delta stream commits epochs (recorded, no bar: the point is that
+  reads keep flowing against consistent snapshots during commits).
+
+Everything is recorded in ``BENCH_server.json`` at the repo root
+*before* the throughput bar is asserted, so a regression still leaves
+the measurement behind.  Correctness rides along: both modes must
+return identical epoch-0 results.
+"""
+
+import itertools
+import json
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import AnalyticsService, DeltaBatch
+
+from tests.engine.helpers import assert_results_equal
+
+from .common import (
+    BENCH_SCALE,
+    RESULTS_DIR,
+    covar_workload,
+    dataset,
+    rt_node_workload,
+)
+from .test_viewcache import linreg_workload
+
+pytestmark = [pytest.mark.slow, pytest.mark.timeout(900)]
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_server.json")
+
+N_CLIENTS = 6
+REQUESTS_PER_CLIENT = 8
+COALESCE_MS = 25.0
+SPEEDUP_BAR = 1.2
+
+LATENCY_REQUESTS = 30
+DELTA_INTERVAL_S = 0.03
+DELTA_FRACTION = 0.005
+
+
+def build_workloads(ds):
+    from repro import LMFAO
+
+    planner = LMFAO(ds.database, ds.join_tree, compile=False)
+    return {
+        "covar": covar_workload(ds),
+        "linreg": linreg_workload(ds),
+        "trees": rt_node_workload(ds, planner),
+    }
+
+
+def make_service(ds, workloads, *, coalesce_ms, cache_mb):
+    service = AnalyticsService(
+        coalesce_ms=coalesce_ms,
+        max_batch=N_CLIENTS * 2,
+        max_queue=N_CLIENTS * REQUESTS_PER_CLIENT * 2,
+        cache_mb=cache_mb,
+    )
+    service.register_dataset("retailer", ds.database, ds.join_tree)
+    for name, batch in workloads.items():
+        service.register_workload("retailer", name, batch)
+    # every subset a partially filled batch might fuse, planned and
+    # compiled up front — the measurement below is pure serving
+    names = list(workloads)
+    service.prepare(
+        "retailer",
+        [
+            list(combo)
+            for size in range(1, len(names) + 1)
+            for combo in itertools.combinations(names, size)
+        ],
+    )
+    return service
+
+
+def request_storm(service, workload_names):
+    """Fire the mixed request pattern; returns (seconds, responses)."""
+    responses = [
+        [None] * REQUESTS_PER_CLIENT for _ in range(N_CLIENTS)
+    ]
+    errors = []
+    barrier = threading.Barrier(N_CLIENTS + 1)
+
+    def client(slot):
+        try:
+            barrier.wait(timeout=60)
+            for i in range(REQUESTS_PER_CLIENT):
+                name = workload_names[(slot + i) % len(workload_names)]
+                responses[slot][i] = service.query(
+                    "retailer", [name], timeout=300
+                )
+        except Exception as exc:  # noqa: BLE001 - surfaced after join
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(slot,))
+        for slot in range(N_CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60)
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join(600)
+    seconds = time.perf_counter() - start
+    assert not errors, errors
+    return seconds, responses
+
+
+def test_server_benchmark():
+    ds = dataset("retailer")
+    workloads = build_workloads(ds)
+    names = list(workloads)
+    n_requests = N_CLIENTS * REQUESTS_PER_CLIENT
+
+    # -- throughput: coalescing on vs off (no cache; the comparison
+    # isolates the coalescer's fusion dedup, not warm-cache serving) ---
+    measurements = {}
+    sample_results = {}
+    for mode, window in (("on", COALESCE_MS), ("off", 0.0)):
+        service = make_service(
+            ds, workloads, coalesce_ms=window, cache_mb=0
+        )
+        seconds, responses = request_storm(service, names)
+        stats = service.coalescer.stats()
+        measurements[mode] = {
+            "seconds": round(seconds, 6),
+            "requests_per_second": round(n_requests / seconds, 3),
+            "mean_batch": stats.as_dict()["mean_batch"],
+            "max_batch": stats.max_batch,
+            "batches": stats.batches,
+        }
+        sample_results[mode] = {
+            name: next(
+                response.results[name]
+                for per_client in responses
+                for response in per_client
+                if name in response.results
+            )
+            for name in names
+        }
+        service.close()
+
+    # correctness rides along: both modes answered epoch 0 identically
+    for name in names:
+        assert_results_equal(
+            sample_results["on"][name],
+            sample_results["off"][name],
+            workloads[name],
+            rtol=1e-8,
+        )
+
+    speedup = (
+        measurements["on"]["requests_per_second"]
+        / measurements["off"]["requests_per_second"]
+    )
+
+    # -- p50 latency under a background delta stream -------------------
+    service = make_service(
+        ds, workloads, coalesce_ms=5.0, cache_mb=256
+    )
+    root = service._state("retailer").ivm.root
+    stop = threading.Event()
+    deltas_committed = [0]
+
+    def delta_stream():
+        rng = np.random.default_rng(5)
+        while not stop.is_set():
+            fact = service.snapshot("retailer").database.relation(root)
+            n_delta = max(1, int(fact.n_rows * DELTA_FRACTION))
+            idx = rng.integers(0, fact.n_rows, n_delta)
+            inserts = {
+                a: fact.column(a)[idx] for a in fact.schema.names
+            }
+            deletes = rng.choice(fact.n_rows, n_delta, replace=False)
+            service.apply_delta(
+                "retailer",
+                DeltaBatch(
+                    root, inserts=inserts, delete_indices=deletes
+                ),
+            )
+            deltas_committed[0] += 1
+            stop.wait(DELTA_INTERVAL_S)
+
+    writer = threading.Thread(target=delta_stream)
+    writer.start()
+    latencies = []
+    epochs_seen = set()
+    try:
+        for i in range(LATENCY_REQUESTS):
+            name = names[i % len(names)]
+            start = time.perf_counter()
+            response = service.query("retailer", [name], timeout=300)
+            latencies.append(time.perf_counter() - start)
+            epochs_seen.add(response.epoch)
+    finally:
+        stop.set()
+        writer.join(60)
+    cache_stats = service.stats()["datasets"]["retailer"]["cache"]
+    service.close()
+    p50, p95 = np.percentile(np.asarray(latencies) * 1000.0, [50, 95])
+
+    # record everything BEFORE asserting the bar
+    report = {
+        "dataset": "retailer",
+        "scale": BENCH_SCALE,
+        "workloads": names,
+        "throughput": {
+            "n_clients": N_CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "coalesce_window_ms": COALESCE_MS,
+            "coalesce_on": measurements["on"],
+            "coalesce_off": measurements["off"],
+            "speedup": round(speedup, 3),
+            "bar": SPEEDUP_BAR,
+        },
+        "latency_under_deltas": {
+            "n_requests": LATENCY_REQUESTS,
+            "delta_interval_ms": DELTA_INTERVAL_S * 1000,
+            "delta_fraction": DELTA_FRACTION,
+            "deltas_committed": deltas_committed[0],
+            "epochs_observed": len(epochs_seen),
+            "p50_ms": round(float(p50), 3),
+            "p95_ms": round(float(p95), 3),
+            "cache_stats": cache_stats,
+        },
+    }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "server.txt"), "w") as handle:
+        handle.write(
+            f"analytics service — covar+linreg+trees on retailer "
+            f"(scale {BENCH_SCALE})\n"
+            f"coalescing on   {measurements['on']['seconds']:9.4f}s  "
+            f"{measurements['on']['requests_per_second']:8.2f} req/s  "
+            f"(mean batch {measurements['on']['mean_batch']})\n"
+            f"coalescing off  {measurements['off']['seconds']:9.4f}s  "
+            f"{measurements['off']['requests_per_second']:8.2f} req/s\n"
+            f"speedup         {speedup:9.2f}x  (bar {SPEEDUP_BAR}x)\n"
+            f"p50 latency under delta stream: {p50:.1f}ms "
+            f"(p95 {p95:.1f}ms, {deltas_committed[0]} deltas, "
+            f"{len(epochs_seen)} epochs observed)\n"
+        )
+
+    assert speedup >= SPEEDUP_BAR, (
+        f"coalescing must sustain >={SPEEDUP_BAR}x the uncoalesced "
+        f"throughput on a fusion-friendly mix; measured {speedup:.2f}x "
+        f"({measurements['on']['requests_per_second']} vs "
+        f"{measurements['off']['requests_per_second']} req/s)"
+    )
+    assert len(epochs_seen) >= 2, (
+        "latency phase never observed a committed epoch change; the "
+        "delta stream did not overlap the reads"
+    )

@@ -170,7 +170,7 @@ def test_viewcache_benchmark():
             "groups_fused": fusion.groups_fused,
             "groups_independent": fusion.groups_independent,
         },
-        "cache_stats": cache.stats.as_dict(),
+        "cache_stats": cache.stats().as_dict(),
         "cache_resident_mb": round(cache.total_bytes / (1 << 20), 3),
     }
     with open(BENCH_JSON, "w") as handle:

@@ -36,6 +36,7 @@ from .engine import (
     WorkloadSession,
 )
 from .jointree import JoinTree, join_tree_from_database
+from .server import AnalyticsClient, AnalyticsService, ServiceOverloaded
 from .query import (
     Aggregate,
     Constant,
@@ -54,6 +55,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "LMFAO",
+    "AnalyticsService",
+    "AnalyticsClient",
+    "ServiceOverloaded",
     "IncrementalEngine",
     "ViewCache",
     "WorkloadSession",

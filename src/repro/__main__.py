@@ -11,18 +11,31 @@ Commands:
 * ``run <dataset> --workloads covar,linreg,trees [--fuse] [--cache-mb N]``
   — execute several workloads through one :class:`WorkloadSession`,
   optionally fused into one deduplicated view DAG and/or backed by a
-  content-addressed view cache (per-view hit/miss report).
+  content-addressed view cache (per-view hit/miss report);
+* ``serve <dataset> [--port N] [--coalesce-ms N] [--cache-mb N]`` —
+  run the long-lived analytics service over HTTP: request coalescing,
+  epoch-snapshot isolation, streaming ``POST /delta`` writes;
+* ``client {health,stats,query} ...`` — talk to a running service.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 import numpy as np
 
-from . import LMFAO, DeltaBatch, IncrementalEngine, ViewCache, WorkloadSession
+from . import (
+    LMFAO,
+    AnalyticsClient,
+    AnalyticsService,
+    DeltaBatch,
+    IncrementalEngine,
+    ViewCache,
+    WorkloadSession,
+)
 from .datasets import ALL_DATASETS
 from .engine.explain import explain
 from .engine.sql import render_batch_sql
@@ -231,7 +244,7 @@ def _run_workloads(args, dataset, engine) -> int:
         )
     print(f"  {mode} execution: {elapsed:.4f}s")
     if cache is not None:
-        stats = cache.stats
+        stats = cache.stats()
         print(
             f"  view cache: {stats.hits} hits / {stats.misses} misses, "
             f"{stats.evictions} evictions, "
@@ -299,6 +312,94 @@ def _run_incremental(args, dataset, batch) -> int:
     print(
         f"updated result rows: {sum(r.n_rows for r in updated.values())}"
     )
+    return 0
+
+
+#: workloads the service registers for ``serve`` (rt_node is the same
+#: batch as trees; it stays a CLI-only alias)
+SERVE_WORKLOADS = ("covar", "linreg", "trees", "mi", "cube")
+
+
+def build_service(args, dataset) -> AnalyticsService:
+    """An :class:`AnalyticsService` over one dataset, all workloads."""
+    service = AnalyticsService(
+        coalesce_ms=args.coalesce_ms,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        cache_mb=args.cache_mb,
+        backend=args.backend,
+        n_threads=args.threads,
+    )
+    service.register_dataset(
+        args.dataset, dataset.database, dataset.join_tree
+    )
+    # a compile-free planner builds the workload batches (the tree
+    # learner wants an engine handle; node_batch never executes it)
+    planner = LMFAO(
+        dataset.database, dataset.join_tree, compile=False,
+        sort_inputs=False,
+    )
+    for name in SERVE_WORKLOADS:
+        service.register_workload(
+            args.dataset, name, _build_workload(dataset, planner, name)
+        )
+    # plan + compile every workload (and the full fused union) before
+    # accepting traffic, so no request pays codegen inline
+    service.prepare(args.dataset)
+    return service
+
+
+def cmd_serve(args) -> int:
+    from .server.http import make_http_server
+
+    if args.dataset not in ALL_DATASETS:
+        raise SystemExit(f"unknown dataset {args.dataset!r}")
+    dataset = ALL_DATASETS[args.dataset](scale=args.scale)
+    service = build_service(args, dataset)
+    server = make_http_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    mode = (
+        f"coalesce={args.coalesce_ms:g}ms (max batch {args.max_batch})"
+        if args.coalesce_ms > 0
+        else "coalescing off"
+    )
+    print(
+        f"serving {args.dataset} (scale {args.scale:g}) on "
+        f"http://{host}:{port} [{mode}, cache={args.cache_mb:g}MiB, "
+        f"queue cap {args.max_queue}]"
+    )
+    print(
+        f"workloads: {', '.join(service.workload_names(args.dataset))}; "
+        f"endpoints: POST /query, POST /delta, GET /stats, GET /healthz"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+def cmd_client(args) -> int:
+    client = AnalyticsClient(args.host, args.port)
+    if args.action == "health":
+        payload = client.healthz()
+    elif args.action == "stats":
+        payload = client.stats()
+    else:  # query
+        if not args.dataset or not args.workloads:
+            raise SystemExit(
+                "client query needs a dataset and comma-separated "
+                "workloads, e.g.: client query retailer covar,linreg"
+            )
+        payload = client.query(
+            args.dataset,
+            [w.strip() for w in args.workloads.split(",") if w.strip()],
+            include_data=args.include_data,
+        )
+    print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -378,6 +479,68 @@ def main(argv=None) -> int:
                 "relation (with --incremental; default 0.01)",
             )
         p.set_defaults(fn=fn)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the concurrent analytics service over HTTP"
+    )
+    p_serve.add_argument("dataset", choices=sorted(ALL_DATASETS))
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8080, help="0 picks an ephemeral port"
+    )
+    p_serve.add_argument(
+        "--coalesce-ms",
+        type=float,
+        default=5.0,
+        help="micro-batching window for request coalescing; 0 disables "
+        "coalescing (default: 5)",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="cap on requests fused into one batch (default: 16)",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="admission-control cap: pending requests beyond this are "
+        "shed with HTTP 503 (default: 64)",
+    )
+    p_serve.add_argument(
+        "--cache-mb",
+        type=float,
+        default=64.0,
+        help="view-cache byte budget in MiB; 0 disables the cache "
+        "(default: 64)",
+    )
+    p_serve.add_argument(
+        "--backend",
+        choices=["interpret", "compiled"],
+        default="compiled",
+        help="execution backend for served queries (default: compiled)",
+    )
+    p_serve.add_argument("--threads", type=int, default=1)
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_client = sub.add_parser(
+        "client", help="talk to a running analytics service"
+    )
+    p_client.add_argument("action", choices=["health", "stats", "query"])
+    p_client.add_argument("dataset", nargs="?")
+    p_client.add_argument(
+        "workloads", nargs="?",
+        help="comma-separated workload names (query only)",
+    )
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=8080)
+    p_client.add_argument(
+        "--include-data",
+        action="store_true",
+        help="return full result columns, not just row counts",
+    )
+    p_client.set_defaults(fn=cmd_client)
 
     args = parser.parse_args(argv)
     return args.fn(args)

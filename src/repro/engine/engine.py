@@ -288,13 +288,25 @@ class LMFAO:
 
     # -- execution -----------------------------------------------------------
 
-    def run(self, batch: QueryBatch) -> BatchResult:
-        """Evaluate a batch; returns query name -> result Relation."""
-        result, _, _ = self._run(batch, retain_interior=False)
+    def run(
+        self, batch: QueryBatch, *, database: Optional[Database] = None
+    ) -> BatchResult:
+        """Evaluate a batch; returns query name -> result Relation.
+
+        ``database`` (optional) pins the run to an explicit database
+        version — the *epoch hook*: every relation read, content
+        signature, and result column of this run comes from that one
+        snapshot, even if ``self.database`` is swapped mid-run by a
+        concurrent delta commit.  Defaults to the engine's current
+        database.
+        """
+        result, _, _ = self._run(
+            batch, retain_interior=False, database=database
+        )
         return result
 
     def run_with_views(
-        self, batch: QueryBatch
+        self, batch: QueryBatch, *, database: Optional[Database] = None
     ) -> Tuple[BatchResult, EnginePlan, ViewStore]:
         """Evaluate a batch, also returning the plan and materialized views.
 
@@ -302,11 +314,17 @@ class LMFAO:
         it is what the incremental-maintenance layer caches and patches
         under deltas.
         """
-        return self._run(batch, retain_interior=True)
+        return self._run(batch, retain_interior=True, database=database)
 
     def _run(
-        self, batch: QueryBatch, *, retain_interior: bool
+        self,
+        batch: QueryBatch,
+        *,
+        retain_interior: bool,
+        database: Optional[Database] = None,
     ) -> Tuple[BatchResult, EnginePlan, ViewStore]:
+        # snapshot once: everything below reads this one version
+        db = database if database is not None else self.database
         t0 = time.perf_counter()
         plan = self.plan(batch)
         t1 = time.perf_counter()
@@ -317,38 +335,45 @@ class LMFAO:
                 "and execution"
             )
         store, report = self._execute_impl(
-            plan, dyn, retain_interior=retain_interior
+            plan, dyn, retain_interior=retain_interior, database=db
         )
-        result = self.assemble(batch, plan, store)
+        result = self.assemble(batch, plan, store, database=db)
         result.plan_seconds = t1 - t0
         result.execute_seconds = time.perf_counter() - t1
         result.cache_report = report
         return result, plan, store
 
     def view_signatures_for(
-        self, plan: EnginePlan, dyn: Sequence = ()
+        self,
+        plan: EnginePlan,
+        dyn: Sequence = (),
+        *,
+        database: Optional[Database] = None,
     ) -> Dict[int, ViewSignature]:
-        """Content signatures of a plan's views against the current data.
+        """Content signatures of a plan's views against one database version.
 
         ``dyn`` is this run's dynamic-function binding (slot order);
         signatures hash those values, not the planning-time ones, so a
         plan-cache-shared plan re-bound to new thresholds gets fresh
-        digests.  Memoized per (plan, database, binding); an IVM
+        digests.  ``database`` defaults to the engine's current one;
+        epoch-pinned runs pass their snapshot so signatures address that
+        version's data.  Memoized per (plan, database, binding); an IVM
         database swap or re-binding recomputes on the next run.
         """
+        db = database if database is not None else self.database
         dyn_key = dyn_binding_key(dyn)
         memo = self._sig_memo.get(id(plan))
         if (
             memo is not None
             and memo[0] is plan
-            and memo[1] is self.database
+            and memo[1] is db
             and memo[2] == dyn_key
         ):
             return memo[3]
         sigs = view_signatures(
-            plan.decomposed.views, self.database, plan.dyn_slots, dyn
+            plan.decomposed.views, db, plan.dyn_slots, dyn
         )
-        self._sig_memo[id(plan)] = (plan, self.database, dyn_key, sigs)
+        self._sig_memo[id(plan)] = (plan, db, dyn_key, sigs)
         return sigs
 
     def execute(
@@ -357,6 +382,7 @@ class LMFAO:
         dyn: Sequence,
         *,
         retain_interior: bool = False,
+        database: Optional[Database] = None,
     ) -> ViewStore:
         """Materialize every view of a planned batch.
 
@@ -364,10 +390,11 @@ class LMFAO:
         input views are published; the backend decides how a group is
         evaluated.  With ``retain_interior=False`` interior views are
         evicted once their last consumer finishes (output views are
-        pinned and always survive).
+        pinned and always survive).  ``database`` pins execution to an
+        explicit database version (see :meth:`run`).
         """
         store, _ = self._execute_impl(
-            plan, dyn, retain_interior=retain_interior
+            plan, dyn, retain_interior=retain_interior, database=database
         )
         return store
 
@@ -377,7 +404,9 @@ class LMFAO:
         dyn: Sequence,
         *,
         retain_interior: bool,
+        database: Optional[Database] = None,
     ) -> Tuple[ViewStore, Optional[CacheRunReport]]:
+        db = database if database is not None else self.database
         cache = self.view_cache
         report: Optional[CacheRunReport] = None
         sigs: Dict[int, ViewSignature] = {}
@@ -385,7 +414,7 @@ class LMFAO:
         recipes: Dict[int, LeafRecipe] = {}
         skip: set = set()
         if cache is not None:
-            sigs = self.view_signatures_for(plan, dyn)
+            sigs = self.view_signatures_for(plan, dyn, database=db)
             report = CacheRunReport(total_groups=len(plan.group_plans))
             for view in plan.decomposed.views:
                 report.names[view.id] = view.name
@@ -442,7 +471,7 @@ class LMFAO:
             return self.backend.run_group(
                 GroupTask(
                     plan=group_plan,
-                    relation=self.database.relation(group_plan.node),
+                    relation=db.relation(group_plan.node),
                     incoming=store.snapshot(group_plan.input_view_ids),
                     dyn=dyn,
                     compiled_fn=plan.compiled_fns[group_id],
@@ -503,16 +532,21 @@ class LMFAO:
         batch: QueryBatch,
         plan: EnginePlan,
         view_data: Mapping[int, ViewData],
+        *,
+        database: Optional[Database] = None,
     ) -> BatchResult:
         """Assemble per-query result relations from materialized views."""
+        db = database if database is not None else self.database
         result = BatchResult()
         outputs_by_name = {o.query_name: o for o in plan.decomposed.outputs}
         for query in batch:
             output = outputs_by_name[query.name]
-            result[query.name] = self._assemble_query(query, output, view_data)
+            result[query.name] = self._assemble_query(
+                query, output, view_data, db
+            )
         return result
 
-    def _assemble_query(self, query, output, view_data) -> Relation:
+    def _assemble_query(self, query, output, view_data, database) -> Relation:
         # key columns come from any referenced output view (all are
         # lexicographically aligned over the same group-by tuple set)
         first_ref = output.term_refs[0][0]
@@ -523,7 +557,9 @@ class LMFAO:
         for attr_name in query.group_by:
             pos = sorted_group_by.index(attr_name)
             columns[attr_name] = base.key_cols[pos]
-            attrs.append(self._attribute(attr_name, base.key_cols[pos]))
+            attrs.append(
+                self._attribute(attr_name, base.key_cols[pos], database)
+            )
         # group-by columns reserve their names; colliding aggregate names
         # get suffixed like duplicates
         used_names: Dict[str, int] = {name: 0 for name in query.group_by}
@@ -542,9 +578,11 @@ class LMFAO:
             attrs.append(Attribute(name, "continuous", np.float64))
         return Relation(query.name, Schema(attrs), columns)
 
-    def _attribute(self, name: str, column: np.ndarray) -> Attribute:
+    def _attribute(
+        self, name: str, column: np.ndarray, database: Database
+    ) -> Attribute:
         try:
-            kind = self.database.attribute_kind(name)
+            kind = database.attribute_kind(name)
         except KeyError:
             kind = "categorical"
         return Attribute(name, kind, column.dtype)

@@ -166,7 +166,7 @@ def execute_plan_delta(
     over only the inserted (``sign=+1``) or deleted (``sign=-1``) rows
     yields exactly the additive change of each view.  The caller merges
     the result into cached :class:`ViewData` with
-    :func:`repro.engine.parallel.merge_partials`-style re-aggregation.
+    :func:`repro.engine.executor.store.merge_partials`-style re-aggregation.
     """
     if sign not in (1, -1):
         raise ValueError(f"sign must be +1 or -1, got {sign}")

@@ -128,6 +128,7 @@ class IncrementalEngine:
         n_threads: int = 1,
         partition_threshold: int = 20_000,
         view_cache: Optional[ViewCache] = None,
+        backend=None,
     ):
         if root is None:
             root = max(database, key=lambda r: r.n_rows).name
@@ -141,6 +142,7 @@ class IncrementalEngine:
             n_threads=n_threads,
             partition_threshold=partition_threshold,
             view_cache=view_cache,
+            backend=backend,
         )
         self.root = root
         self.view_cache = view_cache

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ...data.database import AppliedDelta
@@ -157,9 +157,21 @@ class ViewCache:
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
         self._bytes = 0
         self._lock = threading.Lock()
-        self.stats = CacheStats()
+        self._stats = CacheStats()
 
     # -- introspection -----------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """One snapshot-consistent copy of the counters.
+
+        Taken atomically under the cache lock, so a reader never
+        observes (say) ``hits`` from before a concurrent update and
+        ``misses`` from after it — which is what ``GET /stats`` on the
+        analytics service reports.  The returned object is a copy;
+        mutating it does not touch the cache.
+        """
+        with self._lock:
+            return replace(self._stats)
 
     def __len__(self) -> int:
         with self._lock:
@@ -195,10 +207,10 @@ class ViewCache:
         with self._lock:
             entry = self._entries.get(digest)
             if entry is None:
-                self.stats.misses += 1
+                self._stats.misses += 1
                 return None
             self._entries.move_to_end(digest)
-            self.stats.hits += 1
+            self._stats.hits += 1
             return entry.data
 
     def peek(self, digest: str) -> Optional[ViewData]:
@@ -224,7 +236,7 @@ class ViewCache:
         nbytes = view_nbytes(data)
         with self._lock:
             if nbytes > self.budget_bytes:
-                self.stats.rejects += 1
+                self._stats.rejects += 1
                 return False
             old = self._entries.pop(sig.digest, None)
             if old is not None:
@@ -237,7 +249,7 @@ class ViewCache:
                 pinned=False if old is None else old.pinned,
             )
             self._bytes += nbytes
-            self.stats.puts += 1
+            self._stats.puts += 1
             self._shrink_locked()
         return True
 
@@ -254,7 +266,7 @@ class ViewCache:
             if victim is None:  # everything pinned: allow overflow
                 return
             self._bytes -= self._entries.pop(victim).nbytes
-            self.stats.evictions += 1
+            self._stats.evictions += 1
 
     # -- pinning -----------------------------------------------------------
 
@@ -294,7 +306,7 @@ class ViewCache:
             ]
             for digest in victims:
                 self._bytes -= self._entries.pop(digest).nbytes
-            self.stats.invalidations += len(victims)
+            self._stats.invalidations += len(victims)
         return len(victims)
 
     def on_delta(self, applied: AppliedDelta) -> Dict[str, str]:
@@ -306,6 +318,16 @@ class ViewCache:
         """
         relation = applied.relation
         new_fp = relation_fingerprint(applied.database.relation(relation))
+        # patching is only sound for entries that hold the *pre-delta*
+        # version of the relation's data: an entry admitted by a reader
+        # pinned to an older epoch (its digest hangs off an older
+        # fingerprint) must be evicted, not patched forward past the
+        # deltas it never saw
+        old_fp = (
+            None
+            if applied.previous is None
+            else relation_fingerprint(applied.previous.relation(relation))
+        )
         with self._lock:
             affected = [
                 (digest, entry)
@@ -314,14 +336,20 @@ class ViewCache:
             ]
         outcome: Dict[str, str] = {}
         for digest, entry in affected:
-            patched = self._patch(entry, applied)
+            current = (
+                old_fp is not None
+                and entry.recipe is not None
+                and digest
+                == leaf_digest(entry.recipe.leaf_structure, old_fp)
+            )
+            patched = self._patch(entry, applied) if current else None
             with self._lock:
                 victim = self._entries.pop(digest, None)
                 if victim is not None:
                     self._bytes -= victim.nbytes
             if patched is None:
                 with self._lock:
-                    self.stats.invalidations += 1
+                    self._stats.invalidations += 1
                 outcome[digest] = "evicted"
                 continue
             new_sig = ViewSignature(
@@ -333,11 +361,11 @@ class ViewCache:
             admitted = self.put(new_sig, patched, recipe=entry.recipe)
             if not admitted:  # e.g. the patched view outgrew the budget
                 with self._lock:
-                    self.stats.invalidations += 1
+                    self._stats.invalidations += 1
                 outcome[digest] = "evicted"
                 continue
             with self._lock:
-                self.stats.patches += 1
+                self._stats.patches += 1
             if victim is not None and victim.pinned:
                 self.pin(new_sig.digest)
             outcome[digest] = "patched"
@@ -389,5 +417,5 @@ class ViewCache:
                 f"ViewCache({len(self._entries)} views, "
                 f"{self._bytes / (1 << 20):.1f}/"
                 f"{self.budget_bytes / (1 << 20):.1f} MiB, "
-                f"hits={self.stats.hits} misses={self.stats.misses})"
+                f"hits={self._stats.hits} misses={self._stats.misses})"
             )

@@ -163,19 +163,24 @@ class WorkloadSession:
 
     # -- execution ---------------------------------------------------------
 
-    def run(self) -> SessionResult:
-        """Execute all workloads as one fused DAG; fan results back out."""
+    def run(self, *, database=None) -> SessionResult:
+        """Execute all workloads as one fused DAG; fan results back out.
+
+        ``database`` (optional) pins the run to one database version —
+        the epoch hook the analytics service uses so fused requests read
+        a consistent snapshot while deltas commit concurrently.
+        """
         fused = self.fused_batch()
-        merged = self.engine.run(fused)
+        merged = self.engine.run(fused, database=database)
         result = self._split(merged)
         result.fused = True
         return result
 
-    def run_independent(self) -> SessionResult:
+    def run_independent(self, *, database=None) -> SessionResult:
         """Execute each workload as its own batch (no DAG-level fusion)."""
         result = SessionResult()
         for workload, batch in self._workloads.items():
-            batch_result = self.engine.run(batch)
+            batch_result = self.engine.run(batch, database=database)
             result[workload] = batch_result
             result.plan_seconds += batch_result.plan_seconds
             result.execute_seconds += batch_result.execute_seconds

@@ -1,0 +1,119 @@
+"""A small blocking HTTP client for the analytics service.
+
+Used by ``python -m repro client ...`` and the test suite; stdlib only
+(:mod:`urllib.request`).  Every method returns the decoded JSON payload;
+non-2xx responses raise :class:`ClientError` carrying the HTTP status
+and the server's error message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence
+
+
+class ClientError(RuntimeError):
+    """A non-2xx response from the analytics service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class AnalyticsClient:
+    """Blocking JSON client for one service endpoint."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        timeout: float = 60.0,
+    ):
+        self.base_url = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None):
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except Exception:  # noqa: BLE001 - non-JSON error body
+                message = str(exc)
+            raise ClientError(exc.code, message) from None
+
+    # -- endpoints ---------------------------------------------------------
+
+    def healthz(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict:
+        return self._request("GET", "/stats")
+
+    def query(
+        self,
+        dataset: str,
+        workloads: Sequence[str],
+        *,
+        include_data: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Dict:
+        body = {
+            "dataset": dataset,
+            "workloads": list(workloads),
+            "include_data": include_data,
+        }
+        if timeout is not None:
+            body["timeout"] = timeout
+        return self._request("POST", "/query", body)
+
+    def delta(
+        self,
+        dataset: str,
+        relation: str,
+        *,
+        inserts: Optional[Dict[str, List]] = None,
+        delete_indices: Optional[List[int]] = None,
+    ) -> Dict:
+        body: Dict = {"dataset": dataset, "relation": relation}
+        if inserts is not None:
+            body["inserts"] = {
+                name: list(values) for name, values in inserts.items()
+            }
+        if delete_indices is not None:
+            body["delete_indices"] = list(delete_indices)
+        return self._request("POST", "/delta", body)
+
+    # -- convenience -------------------------------------------------------
+
+    def wait_ready(self, timeout: float = 10.0) -> Dict:
+        """Poll ``/healthz`` until the service answers (or time out)."""
+        deadline = time.monotonic() + timeout
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (urllib.error.URLError, ConnectionError, OSError) as exc:
+                last_error = exc
+                time.sleep(0.05)
+        raise TimeoutError(
+            f"service at {self.base_url} not ready within {timeout}s: "
+            f"{last_error}"
+        )

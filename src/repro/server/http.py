@@ -1,0 +1,254 @@
+"""Stdlib HTTP front-end for the :class:`AnalyticsService`.
+
+Endpoints (all JSON):
+
+* ``GET /healthz`` — liveness: registered datasets and their epochs;
+* ``GET /stats`` — the service-wide report: snapshot-consistent view
+  cache counters, coalescer batch-size stats, per-dataset epochs;
+* ``POST /query`` — ``{"dataset": ..., "workloads": ["covar", ...],
+  "include_data": false}``; blocks in the coalescer and answers with
+  the committed epoch it was served from;
+* ``POST /delta`` — ``{"dataset": ..., "relation": ...,
+  "inserts": {col: [...]}, "delete_indices": [...]}``; commits a new
+  epoch and reports the IVM maintenance modes.
+
+Errors map to conventional status codes: unknown dataset/workload/
+relation → 404, malformed requests → 400, admission-control shedding
+→ 503 (with ``Retry-After``).
+
+Built on :class:`http.server.ThreadingHTTPServer` only — no third-party
+dependencies — which pairs naturally with the service's design: handler
+threads block inside the coalescer while its single worker executes
+fused batches, so concurrency lives at the admission layer, not in the
+engine.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..data.database import DeltaBatch
+from ..data.relation import Relation
+from .coalescer import ServiceOverloaded
+from .service import AnalyticsService, QueryResponse
+
+#: request body size cap (16 MiB) — a plain sanity bound, not a quota
+MAX_BODY_BYTES = 16 << 20
+
+
+def relation_payload(relation: Relation, include_data: bool) -> dict:
+    out = {
+        "n_rows": relation.n_rows,
+        "columns": list(relation.schema.names),
+    }
+    if include_data:
+        out["data"] = {
+            name: relation.column(name).tolist()
+            for name in relation.schema.names
+        }
+    return out
+
+
+def query_response_payload(
+    response: QueryResponse, include_data: bool
+) -> dict:
+    return {
+        "dataset": response.dataset,
+        "epoch": response.epoch,
+        "batch_size": response.batch_size,
+        "seconds": round(response.seconds, 6),
+        "results": {
+            workload: {
+                query_name: relation_payload(relation, include_data)
+                for query_name, relation in batch_result.items()
+            }
+            for workload, batch_result in response.results.items()
+        },
+    }
+
+
+def delta_from_payload(body: dict) -> Tuple[str, DeltaBatch]:
+    dataset = body.get("dataset")
+    relation = body.get("relation")
+    if not dataset or not relation:
+        raise ValueError("delta needs 'dataset' and 'relation'")
+    inserts = body.get("inserts")
+    if inserts is not None:
+        if not isinstance(inserts, dict):
+            raise ValueError("'inserts' must map column -> list of values")
+        inserts = {
+            name: np.asarray(values) for name, values in inserts.items()
+        }
+    delete_indices = body.get("delete_indices")
+    if delete_indices is not None:
+        delete_indices = np.asarray(delete_indices, dtype=np.int64)
+    if inserts is None and delete_indices is None:
+        raise ValueError(
+            "delta needs 'inserts' and/or 'delete_indices'"
+        )
+    return dataset, DeltaBatch(
+        relation=relation, inserts=inserts, delete_indices=delete_indices
+    )
+
+
+class AnalyticsRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning server's service."""
+
+    server_version = "repro-analytics/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def service(self) -> AnalyticsService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    def _send_json(
+        self, status: int, payload: dict, retry_after: Optional[int] = None
+    ) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValueError("request needs a JSON body")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(
+                f"request body over {MAX_BODY_BYTES} bytes"
+            )
+        raw = self.rfile.read(length)
+        body = json.loads(raw)
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            service = self.service
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "datasets": {
+                        name: service.epoch(name)
+                        for name in service.datasets()
+                    },
+                },
+            )
+        elif path == "/stats":
+            self._send_json(200, self.service.stats())
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/")
+        try:
+            body = self._read_body()
+            if path == "/query":
+                self._handle_query(body)
+            elif path == "/delta":
+                self._handle_delta(body)
+            else:
+                self._send_json(404, {"error": f"no route {self.path!r}"})
+        except ServiceOverloaded as exc:
+            self._send_json(503, {"error": str(exc)}, retry_after=1)
+        except KeyError as exc:
+            self._send_json(404, {"error": str(exc.args[0])})
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": str(exc)})
+        except TimeoutError as exc:
+            self._send_json(504, {"error": str(exc)})
+
+    def _handle_query(self, body: dict) -> None:
+        dataset = body.get("dataset")
+        workloads = body.get("workloads") or (
+            [body["workload"]] if body.get("workload") else None
+        )
+        if not dataset or not workloads:
+            raise ValueError("query needs 'dataset' and 'workloads'")
+        include_data = bool(body.get("include_data", False))
+        timeout = body.get("timeout")
+        if timeout is not None and not isinstance(timeout, (int, float)):
+            raise ValueError("'timeout' must be a number (seconds)")
+        response = self.service.query(
+            dataset, list(workloads), timeout=timeout
+        )
+        self._send_json(
+            200, query_response_payload(response, include_data)
+        )
+
+    def _handle_delta(self, body: dict) -> None:
+        dataset, delta = delta_from_payload(body)
+        response = self.service.apply_delta(dataset, delta)
+        self._send_json(
+            200,
+            {
+                "dataset": dataset,
+                "epoch": response.epoch,
+                "n_changes": response.report.n_changes,
+                "relations": list(response.report.relations),
+                "maintenance": [
+                    {"mode": b.mode, "seconds": round(b.seconds, 6)}
+                    for b in response.report.batches
+                ],
+            },
+        )
+
+
+class AnalyticsHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one service instance."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: AnalyticsService, verbose=False):
+        super().__init__(address, AnalyticsRequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_http_server(
+    service: AnalyticsService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    verbose: bool = False,
+) -> AnalyticsHTTPServer:
+    """Bind (but do not start) the HTTP front-end; port 0 = ephemeral."""
+    return AnalyticsHTTPServer((host, port), service, verbose=verbose)
+
+
+def serve_in_background(
+    service: AnalyticsService, host: str = "127.0.0.1", port: int = 0
+) -> Tuple[AnalyticsHTTPServer, threading.Thread]:
+    """Start an HTTP front-end on a daemon thread (tests/examples).
+
+    Returns the bound server (``server.server_address`` carries the
+    ephemeral port) and its thread; call ``server.shutdown()`` then
+    ``server.server_close()`` to stop.
+    """
+    server = make_http_server(service, host, port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-http", daemon=True
+    )
+    thread.start()
+    return server, thread

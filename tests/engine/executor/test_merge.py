@@ -1,7 +1,9 @@
-"""Parallelization: partition merging and threaded execution."""
+"""The distributive-SUM merge primitive and threaded domain parallelism.
 
-import importlib
-import sys
+Moved from ``tests/engine/test_parallel.py`` when the deprecated
+``repro.engine.parallel`` shim was removed; :func:`merge_partials` lives
+in :mod:`repro.engine.executor.store`.
+"""
 
 import numpy as np
 import pytest
@@ -11,15 +13,7 @@ from repro.baselines import MaterializedEngine
 from repro.engine.executor import merge_partials
 from repro.engine.interpreter import ViewData
 
-from .helpers import assert_results_equal
-
-
-class TestDeprecatedShim:
-    def test_parallel_import_warns_and_reexports(self):
-        sys.modules.pop("repro.engine.parallel", None)
-        with pytest.warns(DeprecationWarning, match="repro.engine.executor"):
-            legacy = importlib.import_module("repro.engine.parallel")
-        assert legacy.merge_partials is merge_partials
+from ..helpers import assert_results_equal
 
 
 class TestMergePartials:

@@ -1,8 +1,5 @@
 """ViewStore: mapping protocol, ref-counted eviction, pinning, merging."""
 
-import sys
-import warnings
-
 import numpy as np
 import pytest
 
@@ -226,17 +223,13 @@ class TestMergeParts:
 
 
 class TestMergePrimitives:
-    """merge_partials / retire_dead_keys at their new home."""
+    """merge_partials / retire_dead_keys at their executor home."""
 
-    def test_merge_partials_reexported(self):
-        sys.modules.pop("repro.engine.parallel", None)
-        with warnings.catch_warnings():
-            # the shim's DeprecationWarning is asserted in
-            # tests/engine/test_parallel.py; here we only need the alias
-            warnings.simplefilter("ignore", DeprecationWarning)
-            from repro.engine.parallel import merge_partials as legacy
-
-        assert legacy is merge_partials
+    def test_legacy_parallel_module_is_gone(self):
+        # the deprecated repro.engine.parallel shim was removed; the
+        # one import path for the merge primitive is the executor
+        with pytest.raises(ModuleNotFoundError):
+            import repro.engine.parallel  # noqa: F401
 
     def test_retire_dead_keys_exact_zero(self):
         view = grouped_view([0, 1, 2], [1.0, 0.0, 3.0],

@@ -31,9 +31,9 @@ class TestGetPut:
         assert cache.put(sig("a"), view())
         got = cache.get("a")
         assert got is not None and got.agg_cols[0][0] == 1.0
-        assert cache.stats.hits == 1
-        assert cache.stats.misses == 1
-        assert cache.stats.puts == 1
+        assert cache.stats().hits == 1
+        assert cache.stats().misses == 1
+        assert cache.stats().puts == 1
 
     def test_uncacheable_signature_rejected(self):
         cache = ViewCache()
@@ -43,7 +43,7 @@ class TestGetPut:
     def test_oversized_view_rejected(self):
         small = ViewCache(budget_bytes=64)
         assert not small.put(sig("a"), view(n_rows=1000))
-        assert small.stats.rejects == 1
+        assert small.stats().rejects == 1
         assert len(small) == 0
 
     def test_peek_does_not_touch_stats(self):
@@ -51,7 +51,7 @@ class TestGetPut:
         cache.put(sig("a"), view())
         assert cache.peek("a") is not None
         assert cache.peek("b") is None
-        assert cache.stats.hits == 0 and cache.stats.misses == 0
+        assert cache.stats().hits == 0 and cache.stats().misses == 0
 
 
 class TestLruBudget:
@@ -64,7 +64,7 @@ class TestLruBudget:
         cache.put(sig("c"), view())
         assert "b" not in cache, "LRU victim should be b"
         assert "a" in cache and "c" in cache
-        assert cache.stats.evictions == 1
+        assert cache.stats().evictions == 1
 
     def test_total_bytes_tracks_contents(self):
         cache = ViewCache()
@@ -112,7 +112,7 @@ class TestInvalidate:
         cache.put(sig("b", relations=("T",)), view())
         assert cache.invalidate("S") == 1
         assert "a" not in cache and "b" in cache
-        assert cache.stats.invalidations == 1
+        assert cache.stats().invalidations == 1
 
     def test_entries_containing(self):
         cache = ViewCache()

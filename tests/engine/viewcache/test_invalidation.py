@@ -97,7 +97,7 @@ class TestFootprintExactness:
     def test_leaf_views_are_patched_not_just_evicted(self, warm_engine):
         engine, cache, batch = warm_engine
         engine.apply_delta(stores_insert())
-        assert cache.stats.patches > 0, (
+        assert cache.stats().patches > 0, (
             "insert-only delta on a leaf relation should patch, "
             "not evict, its leaf views"
         )
@@ -120,11 +120,58 @@ class TestFootprintExactness:
         content addresses)."""
         engine, cache, batch = warm_engine
         stale = set(cache.entries_containing("Stores"))
-        patches_before = cache.stats.patches
+        patches_before = cache.stats().patches
         engine.apply_delta(DeltaBatch.delete("Stores", np.array([0])))
-        assert cache.stats.patches == patches_before
-        assert cache.stats.invalidations >= len(stale) > 0
+        assert cache.stats().patches == patches_before
+        assert cache.stats().invalidations >= len(stale) > 0
         assert stale.isdisjoint(cache.digests())
+
+
+class TestStaleEpochEntries:
+    def test_old_epoch_admission_is_evicted_not_patched(self, toy_db):
+        """An entry admitted by a reader pinned to an older database
+        version must be evicted by the next delta, never patched: it
+        predates deltas the patch would skip, so "patching" it forward
+        would publish wrong data under a current content address."""
+        cache = ViewCache()
+        engine = IncrementalEngine(toy_db, view_cache=cache)
+        batch = mixed_batch()
+        engine.run(batch)
+        # epoch 1: a *duplicate* of store 2 — its id has Sales rows, so
+        # the join fans out and every downstream answer really changes
+        # (an unmatched store id would hide a mis-patch from the final
+        # results)
+        engine.apply_delta(
+            DeltaBatch.insert(
+                "Stores",
+                {
+                    "store": np.array([2]),
+                    "city": np.array([1]),
+                    "size": np.array([70.0]),
+                },
+            )
+        )
+        # a reader still pinned to the epoch-0 database finishes now
+        # and admits its (stale-fingerprint) views into the shared cache
+        old_reader = LMFAO(toy_db, sort_inputs=False, view_cache=cache)
+        old_reader.run(batch)
+        # the next delta must patch only entries holding epoch-1 data
+        engine.apply_delta(
+            DeltaBatch.insert(
+                "Stores",
+                {
+                    "store": np.array([3]),
+                    "city": np.array([0]),
+                    "size": np.array([50.0]),
+                },
+            )
+        )
+        # a cache-served run at the new epoch must match a cold engine
+        # bit for bit; a mis-patched stale entry would poison it
+        warm = LMFAO(engine.database, sort_inputs=False, view_cache=cache)
+        served = warm.run(batch)
+        cold = LMFAO(engine.database, sort_inputs=False).run(batch)
+        assert_results_equal(served, cold, batch, rtol=1e-9)
 
 
 class TestCachedRunMatchesCold:

@@ -1,0 +1,237 @@
+"""RequestCoalescer: batching windows, fan-out, shedding, errors."""
+
+import threading
+import time
+
+import pytest
+
+from repro.server.coalescer import (
+    CoalescerStats,
+    RequestCoalescer,
+    ServiceOverloaded,
+)
+
+pytestmark = pytest.mark.timeout(60)
+
+
+class Recorder:
+    """An execute callback that records every drained batch."""
+
+    def __init__(self, block: bool = False):
+        self.batches = []
+        self.block = block
+        self.started = threading.Event()  # first execute entered
+        self.release = threading.Event()  # let the first execute finish
+        self._first = True
+
+    def __call__(self, key, payloads):
+        self.batches.append((key, list(payloads)))
+        if self.block and self._first:
+            self._first = False
+            self.started.set()
+            assert self.release.wait(30), "test never released the worker"
+        return [f"{key}:{payload}" for payload in payloads]
+
+
+class TestBasics:
+    def test_single_request_round_trip(self):
+        recorder = Recorder()
+        with RequestCoalescer(recorder, window_ms=1) as coalescer:
+            assert coalescer.submit("ds", "covar", timeout=30) == "ds:covar"
+        assert recorder.batches == [("ds", ["covar"])]
+        stats = coalescer.stats()
+        assert stats.submitted == stats.completed == stats.batches == 1
+
+    def test_window_zero_disables_coalescing(self):
+        coalescer = RequestCoalescer(Recorder(), window_ms=0, max_batch=16)
+        assert coalescer.max_batch == 1
+        coalescer.close()
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ValueError):
+            RequestCoalescer(Recorder(), max_batch=0)
+        with pytest.raises(ValueError):
+            RequestCoalescer(Recorder(), max_queue=0)
+
+    def test_submit_after_close_raises(self):
+        coalescer = RequestCoalescer(Recorder())
+        coalescer.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            coalescer.submit("ds", "covar")
+
+
+class TestCoalescing:
+    def test_concurrent_requests_share_one_batch(self):
+        # block the worker on a sacrificial first request, queue five
+        # more, then release: the five must drain as one batch
+        recorder = Recorder(block=True)
+        coalescer = RequestCoalescer(
+            recorder, window_ms=50, max_batch=8, max_queue=64
+        )
+        threads = [
+            threading.Thread(
+                target=coalescer.submit, args=("ds", "first"),
+            )
+        ]
+        threads[0].start()
+        assert recorder.started.wait(10)
+        results = {}
+
+        def submit(i):
+            results[i] = coalescer.submit("ds", f"req{i}", timeout=30)
+
+        for i in range(5):
+            thread = threading.Thread(target=submit, args=(i,))
+            threads.append(thread)
+            thread.start()
+        while coalescer.stats().queue_depth < 5:
+            time.sleep(0.005)
+        recorder.release.set()
+        for thread in threads:
+            thread.join(30)
+        assert results == {i: f"ds:req{i}" for i in range(5)}
+        assert len(recorder.batches) == 2
+        assert sorted(recorder.batches[1][1]) == [
+            f"req{i}" for i in range(5)
+        ]
+        assert coalescer.stats().max_batch == 5
+        coalescer.close()
+
+    def test_batches_never_mix_keys(self):
+        recorder = Recorder(block=True)
+        coalescer = RequestCoalescer(
+            recorder, window_ms=50, max_batch=8, max_queue=64
+        )
+        first = threading.Thread(target=coalescer.submit, args=("a", "x"))
+        first.start()
+        assert recorder.started.wait(10)
+        threads = [
+            threading.Thread(target=coalescer.submit, args=(key, key))
+            for key in ("a", "b", "a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        while coalescer.stats().queue_depth < 4:
+            time.sleep(0.005)
+        recorder.release.set()
+        for thread in [first] + threads:
+            thread.join(30)
+        for key, payloads in recorder.batches:
+            assert set(payloads) <= {key, "x"}, (
+                f"batch for {key!r} mixed keys: {payloads}"
+            )
+        coalescer.close()
+
+    def test_max_batch_caps_a_drain(self):
+        recorder = Recorder(block=True)
+        coalescer = RequestCoalescer(
+            recorder, window_ms=20, max_batch=2, max_queue=64
+        )
+        threads = [
+            threading.Thread(target=coalescer.submit, args=("ds", i))
+            for i in range(5)
+        ]
+        threads[0].start()
+        assert recorder.started.wait(10)
+        for thread in threads[1:]:
+            thread.start()
+        while coalescer.stats().queue_depth < 4:
+            time.sleep(0.005)
+        recorder.release.set()
+        for thread in threads:
+            thread.join(30)
+        assert all(
+            len(payloads) <= 2 for _, payloads in recorder.batches
+        )
+        coalescer.close()
+
+
+class TestAdmissionControl:
+    def test_sheds_when_queue_full(self):
+        recorder = Recorder(block=True)
+        coalescer = RequestCoalescer(
+            recorder, window_ms=50, max_batch=8, max_queue=2
+        )
+        first = threading.Thread(target=coalescer.submit, args=("ds", 0))
+        first.start()
+        assert recorder.started.wait(10)
+        fillers = [
+            threading.Thread(target=coalescer.submit, args=("ds", i))
+            for i in (1, 2)
+        ]
+        for thread in fillers:
+            thread.start()
+        while coalescer.stats().queue_depth < 2:
+            time.sleep(0.005)
+        with pytest.raises(ServiceOverloaded, match="queue full"):
+            coalescer.submit("ds", 3)
+        assert coalescer.stats().shed == 1
+        recorder.release.set()
+        for thread in [first] + fillers:
+            thread.join(30)
+        coalescer.close()
+
+
+class TestErrors:
+    def test_execute_error_fans_out_to_every_waiter(self):
+        def explode(key, payloads):
+            raise ValueError("boom")
+
+        coalescer = RequestCoalescer(explode, window_ms=1)
+        with pytest.raises(ValueError, match="boom"):
+            coalescer.submit("ds", "x", timeout=30)
+        assert coalescer.stats().failed == 1
+        coalescer.close()
+
+    def test_timeout_raises(self):
+        recorder = Recorder(block=True)
+        coalescer = RequestCoalescer(recorder, window_ms=1)
+        first = threading.Thread(target=coalescer.submit, args=("ds", 0))
+        first.start()
+        assert recorder.started.wait(10)
+        with pytest.raises(TimeoutError):
+            coalescer.submit("ds", 1, timeout=0.05)
+        recorder.release.set()
+        first.join(30)
+        coalescer.close()
+
+    def test_timed_out_request_is_withdrawn_and_never_executed(self):
+        recorder = Recorder(block=True)
+        coalescer = RequestCoalescer(recorder, window_ms=1)
+        first = threading.Thread(
+            target=coalescer.submit, args=("ds", "first")
+        )
+        first.start()
+        assert recorder.started.wait(10)
+        with pytest.raises(TimeoutError):
+            coalescer.submit("ds", "ghost", timeout=0.05)
+        stats = coalescer.stats()
+        assert stats.timed_out == 1
+        assert stats.queue_depth == 0, (
+            "abandoned request still occupies an admission slot"
+        )
+        recorder.release.set()
+        first.join(30)
+        coalescer.close()
+        executed = [
+            payload
+            for _key, payloads in recorder.batches
+            for payload in payloads
+        ]
+        assert "ghost" not in executed, (
+            "worker burned an execution for an abandoned request"
+        )
+
+
+class TestStats:
+    def test_stats_is_a_snapshot_copy(self):
+        coalescer = RequestCoalescer(Recorder(), window_ms=1)
+        coalescer.submit("ds", "x", timeout=30)
+        stats = coalescer.stats()
+        assert isinstance(stats, CoalescerStats)
+        stats.submitted = 999  # mutating the copy must not leak back
+        assert coalescer.stats().submitted == 1
+        payload = coalescer.stats().as_dict()
+        assert payload["mean_batch"] == 1.0
+        assert payload["queue_depth"] == 0
+        coalescer.close()

@@ -1,0 +1,128 @@
+"""The HTTP front-end and blocking client, over an ephemeral port."""
+
+import numpy as np
+import pytest
+
+from repro import AnalyticsService
+from repro.server import AnalyticsClient, ClientError, serve_in_background
+
+from ..engine.helpers import WORKLOADS
+
+pytestmark = pytest.mark.timeout(120)
+
+
+@pytest.fixture()
+def served(toy_db):
+    service = AnalyticsService(coalesce_ms=2, cache_mb=8)
+    service.register_dataset("toy", toy_db)
+    for name, factory in WORKLOADS.items():
+        service.register_workload("toy", name, factory())
+    server, _thread = serve_in_background(service, port=0)
+    host, port = server.server_address[:2]
+    client = AnalyticsClient(host, port)
+    client.wait_ready(timeout=10)
+    yield service, client
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        _service, client = served
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["datasets"] == {"toy": 0}
+
+    def test_query_round_trip_with_data(self, served):
+        service, client = served
+        payload = client.query("toy", ["counts"], include_data=True)
+        assert payload["epoch"] == 0
+        assert payload["batch_size"] >= 1
+        # the wire payload carries the same values the in-process
+        # service answers
+        direct = service.query("toy", ["counts"], timeout=60)
+        for query_name, wire in payload["results"]["counts"].items():
+            relation = direct.results["counts"][query_name]
+            assert wire["n_rows"] == relation.n_rows
+            assert wire["columns"] == list(relation.schema.names)
+            for column in wire["columns"]:
+                assert np.allclose(
+                    wire["data"][column], relation.column(column)
+                )
+
+    def test_query_without_data_is_counts_only(self, served):
+        _service, client = served
+        payload = client.query("toy", ["groupbys"])
+        some = next(iter(payload["results"]["groupbys"].values()))
+        assert "data" not in some and "n_rows" in some
+
+    def test_delta_commits_and_next_query_sees_it(self, served, toy_db):
+        service, client = served
+        fact = toy_db.relation("Sales")
+        row = {
+            name: [fact.column(name)[0].item()]
+            for name in fact.schema.names
+        }
+        payload = client.delta(
+            "toy", "Sales", inserts=row, delete_indices=[0, 1, 2]
+        )
+        assert payload["epoch"] == 1
+        assert payload["n_changes"] == 4
+        assert payload["relations"] == ["Sales"]
+        after = client.query("toy", ["counts"], include_data=True)
+        assert after["epoch"] == 1
+        count = after["results"]["counts"]["count"]["data"]["count"][0]
+        assert count == fact.n_rows + 1 - 3
+
+    def test_stats_reports_cache_and_coalescer(self, served):
+        _service, client = served
+        client.query("toy", ["counts"])
+        payload = client.stats()
+        assert payload["coalescer"]["submitted"] >= 1
+        toy = payload["datasets"]["toy"]
+        assert set(toy["cache"]) >= {"hits", "misses", "resident_bytes"}
+
+    def test_unknown_dataset_is_404(self, served):
+        _service, client = served
+        with pytest.raises(ClientError) as info:
+            client.query("nope", ["counts"])
+        assert info.value.status == 404
+
+    def test_unknown_workload_is_404(self, served):
+        _service, client = served
+        with pytest.raises(ClientError) as info:
+            client.query("toy", ["nope"])
+        assert info.value.status == 404
+
+    def test_unknown_route_is_404(self, served):
+        _service, client = served
+        with pytest.raises(ClientError) as info:
+            client._request("GET", "/nothing")
+        assert info.value.status == 404
+
+    def test_malformed_query_is_400(self, served):
+        _service, client = served
+        with pytest.raises(ClientError) as info:
+            client._request("POST", "/query", {"dataset": "toy"})
+        assert info.value.status == 400
+
+    def test_non_numeric_timeout_is_400(self, served):
+        _service, client = served
+        with pytest.raises(ClientError) as info:
+            client._request(
+                "POST",
+                "/query",
+                {
+                    "dataset": "toy",
+                    "workloads": ["counts"],
+                    "timeout": "5",
+                },
+            )
+        assert info.value.status == 400
+
+    def test_empty_delta_is_400(self, served):
+        _service, client = served
+        with pytest.raises(ClientError) as info:
+            client.delta("toy", "Sales")
+        assert info.value.status == 400

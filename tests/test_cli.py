@@ -159,3 +159,58 @@ class TestCli:
     def test_run_rt_node(self, capsys):
         assert main(["--scale", "0.05", "run", "tpcds", "rt_node"]) == 0
         assert "rt_node on tpcds" in capsys.readouterr().out
+
+
+class TestServeCli:
+    def test_serve_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "nonexistent"])
+
+    def test_client_query_needs_dataset_and_workloads(self):
+        with pytest.raises(SystemExit, match="client query needs"):
+            main(["client", "query"])
+
+    def test_client_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            main(["client", "reboot"])
+
+    def test_serve_and_client_round_trip(self, capsys):
+        """The serve command's service, driven through the HTTP client."""
+        import threading
+
+        from repro.datasets import ALL_DATASETS
+        from repro.__main__ import build_service
+        from repro.server.http import make_http_server
+
+        class Args:
+            dataset = "favorita"
+            scale = 0.05
+            coalesce_ms = 2.0
+            max_batch = 16
+            max_queue = 64
+            cache_mb = 8.0
+            backend = "compiled"
+            threads = 1
+
+        dataset = ALL_DATASETS["favorita"](scale=0.05)
+        service = build_service(Args, dataset)
+        server = make_http_server(service, "127.0.0.1", 0)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            port = str(server.server_address[1])
+            assert main(["client", "health", "--port", port]) == 0
+            assert '"status": "ok"' in capsys.readouterr().out
+            assert main(
+                ["client", "query", "favorita", "covar", "--port", port]
+            ) == 0
+            out = capsys.readouterr().out
+            assert '"epoch": 0' in out and '"covar"' in out
+            assert main(["client", "stats", "--port", port]) == 0
+            assert '"coalescer"' in capsys.readouterr().out
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
