@@ -37,6 +37,13 @@ from .engine import (
 )
 from .jointree import JoinTree, join_tree_from_database
 from .server import AnalyticsClient, AnalyticsService, ServiceOverloaded
+from .storage import (
+    CacheStore,
+    DatasetStorage,
+    WriteAheadLog,
+    load_snapshot,
+    write_snapshot,
+)
 from .query import (
     Aggregate,
     Constant,
@@ -69,6 +76,11 @@ __all__ = [
     "Schema",
     "Attribute",
     "materialize_join",
+    "CacheStore",
+    "DatasetStorage",
+    "WriteAheadLog",
+    "load_snapshot",
+    "write_snapshot",
     "JoinTree",
     "join_tree_from_database",
     "Query",

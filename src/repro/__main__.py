@@ -12,9 +12,15 @@ Commands:
   — execute several workloads through one :class:`WorkloadSession`,
   optionally fused into one deduplicated view DAG and/or backed by a
   content-addressed view cache (per-view hit/miss report);
-* ``serve <dataset> [--port N] [--coalesce-ms N] [--cache-mb N]`` —
-  run the long-lived analytics service over HTTP: request coalescing,
-  epoch-snapshot isolation, streaming ``POST /delta`` writes;
+* ``serve <dataset> [--port N] [--coalesce-ms N] [--cache-mb N]
+  [--data-dir DIR]`` — run the long-lived analytics service over HTTP:
+  request coalescing, epoch-snapshot isolation, streaming
+  ``POST /delta`` writes; with ``--data-dir``, durable storage —
+  restore on boot (snapshot + WAL replay + warm view cache), WAL every
+  commit, drain + fsync on SIGTERM;
+* ``snapshot <dataset> --out DIR`` — write a columnar snapshot (a data
+  dir ``serve --data-dir`` can boot from);
+* ``restore DIR`` — recover a data dir offline and report what's in it;
 * ``client {health,stats,query} ...`` — talk to a running service.
 """
 
@@ -22,6 +28,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
 import time
 
@@ -329,10 +337,32 @@ def build_service(args, dataset) -> AnalyticsService:
         cache_mb=args.cache_mb,
         backend=args.backend,
         n_threads=args.threads,
+        data_dir=getattr(args, "data_dir", None),
+        compact_wal=getattr(args, "compact_wal", 0),
+        spill_mb=getattr(args, "spill_mb", 512.0),
     )
     service.register_dataset(
         args.dataset, dataset.database, dataset.join_tree
     )
+    recovery = service.recovery(args.dataset)
+    if recovery is not None:
+        print(
+            f"restored {args.dataset} from {args.data_dir}: snapshot "
+            f"epoch {recovery.snapshot_epoch} "
+            f"({recovery.snapshot_load_seconds:.3f}s) + "
+            f"{recovery.replayed_commits} WAL commits "
+            f"({recovery.replayed_changes} changes, "
+            f"{recovery.replay_seconds:.3f}s) -> epoch {recovery.epoch}; "
+            f"warm cache: {recovery.cache_entries} views "
+            f"({recovery.cache_bytes / (1 << 20):.2f} MiB) on disk"
+            + (
+                " [torn WAL tail truncated]"
+                if recovery.wal_tail_truncated
+                else ""
+            )
+        )
+    elif getattr(args, "data_dir", None):
+        print(f"initialized durable storage at {args.data_dir}")
     # a compile-free planner builds the workload batches (the tree
     # learner wants an engine handle; node_batch never executes it)
     planner = LMFAO(
@@ -372,13 +402,84 @@ def cmd_serve(args) -> int:
         f"workloads: {', '.join(service.workload_names(args.dataset))}; "
         f"endpoints: POST /query, POST /delta, GET /stats, GET /healthz"
     )
+
+    # graceful SIGTERM (the deploy/orchestrator signal): break out of
+    # serve_forever, then the finally block drains in-flight coalescer
+    # batches and fsyncs+closes the WAL before the process exits
+    def _on_sigterm(signum, frame):
+        raise SystemExit(0)
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except (KeyboardInterrupt, SystemExit):
         print("shutting down")
     finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
         server.server_close()
-        service.close()
+        service.close()  # drains the coalescer, fsyncs + closes storage
+    return 0
+
+
+def cmd_snapshot(args) -> int:
+    from .storage import DatasetStorage
+
+    if args.dataset not in ALL_DATASETS:
+        raise SystemExit(f"unknown dataset {args.dataset!r}")
+    dataset = ALL_DATASETS[args.dataset](scale=args.scale)
+    t0 = time.perf_counter()
+    storage = DatasetStorage(os.path.join(args.out, args.dataset))
+    if storage.has_snapshot() and not args.force:
+        storage.close()
+        raise SystemExit(
+            f"{args.out} already holds a snapshot of {args.dataset} "
+            "(and possibly WAL'd commits); re-initializing would "
+            "discard that history.  Pass --force to overwrite."
+        )
+    info = storage.initialize(dataset.database, epoch=0)
+    storage.close()
+    print(
+        f"snapshot of {args.dataset} (scale {args.scale:g}) -> "
+        f"{info.directory}: {info.n_relations} relations, "
+        f"{info.n_rows} rows, {info.nbytes / (1 << 20):.2f} MiB "
+        f"in {time.perf_counter() - t0:.3f}s"
+    )
+    print(f"serve it with: repro serve {args.dataset} --data-dir {args.out}")
+    return 0
+
+
+def cmd_restore(args) -> int:
+    from .storage import DatasetStorage, dataset_dirs
+
+    directories = dataset_dirs(args.data_dir)
+    if not directories:
+        raise SystemExit(
+            f"no dataset storage under {args.data_dir!r} (no CURRENT file)"
+        )
+    for directory in directories:
+        storage = DatasetStorage(directory)
+        recovered = storage.recover()
+        storage.close()
+        stats = recovered.stats
+        print(
+            f"{os.path.basename(directory)}: epoch {recovered.epoch} "
+            f"(snapshot {stats.snapshot_epoch} + "
+            f"{stats.replayed_commits} WAL commits, "
+            f"{stats.replayed_changes} changes)"
+            + (
+                " [torn WAL tail truncated]"
+                if stats.wal_tail_truncated
+                else ""
+            )
+        )
+        for relation in recovered.database:
+            print(f"  {relation.name:16} {relation.n_rows:>10} rows")
+        print(
+            f"  snapshot load {stats.snapshot_load_seconds:.3f}s, "
+            f"WAL replay {stats.replay_seconds:.3f}s, "
+            f"spilled cache {stats.cache_entries} views "
+            f"({stats.cache_bytes / (1 << 20):.2f} MiB)"
+        )
     return 0
 
 
@@ -522,7 +623,56 @@ def main(argv=None) -> int:
         help="execution backend for served queries (default: compiled)",
     )
     p_serve.add_argument("--threads", type=int, default=1)
+    p_serve.add_argument(
+        "--data-dir",
+        default=None,
+        help="durable storage directory: restore snapshot + replay WAL "
+        "+ warm view cache on boot, write-ahead-log every delta commit "
+        "(default: in-memory only)",
+    )
+    p_serve.add_argument(
+        "--compact-wal",
+        type=int,
+        default=0,
+        help="fold the WAL into a fresh snapshot once it holds this "
+        "many commits (0 = never auto-compact; default: 0)",
+    )
+    p_serve.add_argument(
+        "--spill-mb",
+        type=float,
+        default=512.0,
+        help="disk budget for the persistent view-cache tier; oldest "
+        "spilled views are pruned beyond it (0 = unbounded; "
+        "default: 512)",
+    )
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_snapshot = sub.add_parser(
+        "snapshot",
+        help="write a columnar on-disk snapshot of a dataset",
+    )
+    p_snapshot.add_argument("dataset", choices=sorted(ALL_DATASETS))
+    p_snapshot.add_argument(
+        "--out",
+        required=True,
+        help="data directory to create (serve it with --data-dir)",
+    )
+    p_snapshot.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing data dir, discarding its snapshot "
+        "and every WAL'd commit",
+    )
+    p_snapshot.set_defaults(fn=cmd_snapshot)
+
+    p_restore = sub.add_parser(
+        "restore",
+        help="recover a data directory offline (snapshot + WAL replay)",
+    )
+    p_restore.add_argument(
+        "data_dir", help="a --data-dir previously written by serve/snapshot"
+    )
+    p_restore.set_defaults(fn=cmd_restore)
 
     p_client = sub.add_parser(
         "client", help="talk to a running analytics service"

@@ -79,6 +79,8 @@ class CacheStats:
     invalidations: int = 0  # delta-driven evictions
     patches: int = 0  # delta-patched (and re-keyed) leaf entries
     rejects: int = 0  # entries larger than the whole budget
+    warm_hits: int = 0  # hits served from the persistent second tier
+    spills: int = 0  # entries written through to the second tier
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -89,6 +91,8 @@ class CacheStats:
             "invalidations": self.invalidations,
             "patches": self.patches,
             "rejects": self.rejects,
+            "warm_hits": self.warm_hits,
+            "spills": self.spills,
         }
 
 
@@ -146,9 +150,21 @@ class ViewCache:
 
     Thread-safe: engine schedulers publish evicted interior views from
     worker completion threads while the engine thread probes for hits.
+
+    ``store`` (optional) attaches a persistent second tier — any object
+    with ``save(sig, data) -> bool`` and ``load(digest) ->
+    Optional[(sig, data)]``, e.g. a
+    :class:`~repro.storage.cachestore.CacheStore`.  Cacheable entries
+    are written through on :meth:`put`, and an in-memory miss probes
+    the store before reporting a miss: a disk hit is admitted back into
+    memory and counted as a *warm hit*.  Entries revived from disk
+    carry no leaf recipe, so a later delta evicts rather than patches
+    them — always safe, merely less incremental.
     """
 
-    def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES):
+    def __init__(
+        self, budget_bytes: int = DEFAULT_BUDGET_BYTES, *, store=None
+    ):
         if budget_bytes <= 0:
             raise ValueError(
                 f"cache budget must be positive, got {budget_bytes}"
@@ -158,6 +174,7 @@ class ViewCache:
         self._bytes = 0
         self._lock = threading.Lock()
         self._stats = CacheStats()
+        self._store = store
 
     # -- introspection -----------------------------------------------------
 
@@ -203,15 +220,32 @@ class ViewCache:
     # -- lookup / insert ---------------------------------------------------
 
     def get(self, digest: str) -> Optional[ViewData]:
-        """The cached view for a digest, or None (counts hit/miss)."""
+        """The cached view for a digest, or None (counts hit/miss).
+
+        An in-memory miss probes the persistent second tier when one is
+        attached; a disk hit is admitted back into memory and counted
+        as both a hit and a ``warm_hit``.
+        """
         with self._lock:
             entry = self._entries.get(digest)
-            if entry is None:
+            if entry is not None:
+                self._entries.move_to_end(digest)
+                self._stats.hits += 1
+                return entry.data
+            if self._store is None:
                 self._stats.misses += 1
                 return None
-            self._entries.move_to_end(digest)
+        loaded = self._store.load(digest)
+        if loaded is None:
+            with self._lock:
+                self._stats.misses += 1
+            return None
+        sig, data = loaded
+        self._admit(sig, data, recipe=None)
+        with self._lock:
             self._stats.hits += 1
-            return entry.data
+            self._stats.warm_hits += 1
+        return data
 
     def peek(self, digest: str) -> Optional[ViewData]:
         """Like :meth:`get` but without touching LRU order or stats."""
@@ -229,10 +263,26 @@ class ViewCache:
 
         Uncacheable signatures and views larger than the whole budget
         are rejected; admitting evicts least-recently-used unpinned
-        entries until the budget holds.
+        entries until the budget holds.  With a second tier attached,
+        cacheable entries are also written through to disk — including
+        budget-rejected ones, since the disk tier is typically larger
+        than memory and a spilled entry still serves warm restarts.
         """
         if not sig.cacheable:
             return False
+        admitted = self._admit(sig, data, recipe=recipe)
+        if self._store is not None and self._store.save(sig, data):
+            with self._lock:
+                self._stats.spills += 1
+        return admitted
+
+    def _admit(
+        self,
+        sig: ViewSignature,
+        data: ViewData,
+        recipe: Optional[LeafRecipe] = None,
+    ) -> bool:
+        """Insert into the in-memory tier only (no write-through)."""
         nbytes = view_nbytes(data)
         with self._lock:
             if nbytes > self.budget_bytes:

@@ -15,7 +15,14 @@ commits, and concurrent requests coalesce into fused view DAGs.
 * :mod:`~repro.server.http` — stdlib HTTP endpoints
   (``/query``, ``/delta``, ``/stats``, ``/healthz``);
 * :mod:`~repro.server.client` — :class:`AnalyticsClient`, the blocking
-  client the CLI and tests use.
+  client the CLI and tests use (``retries=`` makes it honor the
+  server's 503 + ``Retry-After`` back-pressure).
+
+With ``AnalyticsService(data_dir=...)`` the serving state is durable
+(:mod:`repro.storage`): delta commits are write-ahead-logged before
+their epoch publishes, registration restores snapshot + WAL replay,
+and the per-dataset view cache spills to a persistent tier that
+serves warm hits across restarts.
 """
 
 from .client import AnalyticsClient, ClientError

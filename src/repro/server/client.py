@@ -18,14 +18,30 @@ from typing import Dict, List, Optional, Sequence
 class ClientError(RuntimeError):
     """A non-2xx response from the analytics service."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+    ):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        #: parsed ``Retry-After`` header (seconds), when the server sent one
+        self.retry_after = retry_after
 
 
 class AnalyticsClient:
-    """Blocking JSON client for one service endpoint."""
+    """Blocking JSON client for one service endpoint.
+
+    ``retries`` (default 0: fail immediately) bounds how many times a
+    request shed with HTTP 503 is retried.  Each retry honors the
+    server's ``Retry-After`` header — the whole point of admission
+    control is that the server names the backoff — clamped to
+    ``max_retry_after`` seconds (missing/unparsable headers wait 1s).
+    Only 503 retries: other errors are not load-shedding and repeat
+    deterministically.
+    """
 
     def __init__(
         self,
@@ -33,31 +49,60 @@ class AnalyticsClient:
         port: int = 8080,
         *,
         timeout: float = 60.0,
+        retries: int = 0,
+        max_retry_after: float = 5.0,
     ):
         self.base_url = f"http://{host}:{port}"
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.max_retry_after = float(max_retry_after)
 
     # -- transport ---------------------------------------------------------
 
     def _request(self, method: str, path: str, body: Optional[dict] = None):
         data = None if body is None else json.dumps(body).encode()
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout
-            ) as response:
-                return json.loads(response.read())
-        except urllib.error.HTTPError as exc:
+        attempts_left = self.retries
+        while True:
+            request = urllib.request.Request(
+                self.base_url + path,
+                data=data,
+                method=method,
+                headers={"Content-Type": "application/json"},
+            )
             try:
-                message = json.loads(exc.read()).get("error", str(exc))
-            except Exception:  # noqa: BLE001 - non-JSON error body
-                message = str(exc)
-            raise ClientError(exc.code, message) from None
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    return json.loads(response.read())
+            except urllib.error.HTTPError as exc:
+                try:
+                    message = json.loads(exc.read()).get("error", str(exc))
+                except Exception:  # noqa: BLE001 - non-JSON error body
+                    message = str(exc)
+                retry_after = self._parse_retry_after(
+                    exc.headers.get("Retry-After")
+                )
+                if exc.code == 503 and attempts_left > 0:
+                    attempts_left -= 1
+                    time.sleep(
+                        min(
+                            self.max_retry_after,
+                            1.0 if retry_after is None else retry_after,
+                        )
+                    )
+                    continue
+                raise ClientError(
+                    exc.code, message, retry_after=retry_after
+                ) from None
+
+    @staticmethod
+    def _parse_retry_after(header: Optional[str]) -> Optional[float]:
+        if header is None:
+            return None
+        try:
+            return max(0.0, float(header))
+        except ValueError:
+            return None
 
     # -- endpoints ---------------------------------------------------------
 

@@ -36,6 +36,7 @@ throughput multiplier under load.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -48,6 +49,7 @@ from ..engine.viewcache.cache import ViewCache
 from ..engine.viewcache.fusion import WorkloadSession
 from ..jointree.join_tree import JoinTree
 from ..query.query import QueryBatch
+from ..storage.manager import DatasetStorage, RecoveryStats
 from .coalescer import RequestCoalescer
 
 #: default per-dataset view-cache budget (MiB)
@@ -106,10 +108,18 @@ class _DatasetState:
         cache_mb: float,
         backend,
         n_threads: int,
+        storage: Optional[DatasetStorage] = None,
+        initial_epoch: int = 0,
+        recovery: Optional[RecoveryStats] = None,
     ):
         self.name = name
+        self.storage = storage
+        self.recovery = recovery
         self.cache: Optional[ViewCache] = (
-            ViewCache(budget_bytes=int(cache_mb * (1 << 20)))
+            ViewCache(
+                budget_bytes=int(cache_mb * (1 << 20)),
+                store=storage.cache_store if storage is not None else None,
+            )
             if cache_mb
             else None
         )
@@ -125,7 +135,7 @@ class _DatasetState:
         self.workloads: Dict[str, QueryBatch] = {}
         # swapped atomically under write_lock; readers take one
         # reference read and never lock
-        self.epoch = Epoch(0, self.engine.database)
+        self.epoch = Epoch(initial_epoch, self.engine.database)
         self.write_lock = threading.Lock()
         self.n_queries = 0  # mutated only on the coalescer worker
         self.n_deltas = 0  # mutated only under write_lock
@@ -159,12 +169,26 @@ class AnalyticsService:
         cache_mb: float = DEFAULT_CACHE_MB,
         backend=None,
         n_threads: int = 1,
+        data_dir: Optional[str] = None,
+        compact_wal: int = 0,
+        spill_mb: float = 512.0,
+        fsync: bool = True,
     ):
         self._states: Dict[str, _DatasetState] = {}
+        self._registering: set = set()
         self._registry_lock = threading.Lock()
         self._cache_mb = float(cache_mb)
         self._backend = backend
         self._n_threads = int(n_threads)
+        self._data_dir = data_dir
+        self._compact_wal = max(0, int(compact_wal))
+        # disk budget for the persistent cache tier: without one,
+        # re-keyed (stale-digest) spill files accumulate forever under
+        # a delta stream; 0 disables the bound
+        self._spill_budget_bytes = (
+            int(spill_mb * (1 << 20)) if spill_mb else None
+        )
+        self._fsync = fsync
         self._started = time.time()
         self.coalescer = RequestCoalescer(
             self._execute_coalesced,
@@ -183,10 +207,44 @@ class AnalyticsService:
         *,
         workloads: Optional[Dict[str, QueryBatch]] = None,
     ) -> "AnalyticsService":
-        """Load one dataset into the service; returns self for chaining."""
+        """Load one dataset into the service; returns self for chaining.
+
+        With a ``data_dir`` configured, registration is where durability
+        engages: an existing snapshot is **restored** (snapshot load +
+        WAL replay — the recovered database *replaces* the one passed
+        in, and the recovered epoch becomes the serving epoch), while a
+        first boot persists the passed database as the base snapshot.
+        Either way the dataset's view cache gains the persistent second
+        tier, so warm starts serve spilled views from disk.
+        """
+        # reserve the name before any storage side effect: two
+        # concurrent registrations of the same dataset must not both
+        # initialize the same data directory
         with self._registry_lock:
-            if name in self._states:
+            if name in self._states or name in self._registering:
                 raise ValueError(f"dataset {name!r} already registered")
+            self._registering.add(name)
+        try:
+            storage: Optional[DatasetStorage] = None
+            recovery: Optional[RecoveryStats] = None
+            initial_epoch = 0
+            if self._data_dir is not None:
+                storage = DatasetStorage(
+                    os.path.join(self._data_dir, name),
+                    fsync=self._fsync,
+                    cache_budget_bytes=self._spill_budget_bytes,
+                )
+                try:
+                    if storage.has_snapshot():
+                        recovered = storage.recover()
+                        database = recovered.database
+                        initial_epoch = recovered.epoch
+                        recovery = recovered.stats
+                    else:
+                        storage.initialize(database, epoch=0)
+                except BaseException:
+                    storage.close()  # don't leak the WAL handle
+                    raise
             state = _DatasetState(
                 name,
                 database,
@@ -194,8 +252,15 @@ class AnalyticsService:
                 cache_mb=self._cache_mb,
                 backend=self._backend,
                 n_threads=self._n_threads,
+                storage=storage,
+                initial_epoch=initial_epoch,
+                recovery=recovery,
             )
-            self._states[name] = state
+            with self._registry_lock:
+                self._states[name] = state
+        finally:
+            with self._registry_lock:
+                self._registering.discard(name)
         for workload_name, batch in (workloads or {}).items():
             self.register_workload(name, workload_name, batch)
         return self
@@ -351,18 +416,73 @@ class AnalyticsService:
         delta-patched and re-keyed, the rest evicted); the new database
         version then becomes the next epoch with one atomic swap.
         Queries already in flight keep reading their captured epoch.
+
+        With durable storage attached, the commit is appended to the
+        write-ahead log (and fsynced) *before* the epoch swap: no epoch
+        is ever published that a crash-restart could not reconstruct.
+        When the WAL reaches ``compact_wal`` commits it is folded into
+        a fresh snapshot.
         """
         state = self._state(dataset)
         with state.write_lock:
             report = state.ivm.apply_delta(*deltas)
             if report.n_changes:
-                state.epoch = Epoch(
-                    state.epoch.number + 1, state.ivm.database
-                )
+                next_epoch = state.epoch.number + 1
+                if state.storage is not None:
+                    try:
+                        state.storage.log_commit(next_epoch, deltas)
+                    except BaseException:
+                        # the commit cannot be made durable, so it must
+                        # not be served: restore the published epoch's
+                        # database and drop every in-memory artifact
+                        # derived from the unlogged version, then tell
+                        # the caller.  Recovery and memory agree again.
+                        state.ivm.engine.database = state.epoch.database
+                        state.ivm.clear_cache()
+                        if state.cache is not None:
+                            state.cache.clear()
+                        raise
+                state.epoch = Epoch(next_epoch, state.ivm.database)
                 state.n_deltas += 1
+                if (
+                    state.storage is not None
+                    and self._compact_wal
+                    and state.storage.wal_len >= self._compact_wal
+                ):
+                    # note: compaction runs under the write lock — it
+                    # must, because truncating the WAL is only sound
+                    # while no commit can append behind the snapshot.
+                    # The stall is bounded by one snapshot write;
+                    # auto-compaction is opt-in (compact_wal=0 default)
+                    state.storage.compact(
+                        state.epoch.database, state.epoch.number
+                    )
             return DeltaResponse(
                 dataset=dataset, epoch=state.epoch.number, report=report
             )
+
+    def compact(self, dataset: str) -> None:
+        """Fold a dataset's WAL into a fresh snapshot now (no-op without
+        durable storage)."""
+        state = self._state(dataset)
+        with state.write_lock:
+            if state.storage is not None:
+                state.storage.compact(
+                    state.epoch.database, state.epoch.number
+                )
+
+    def recovery(self, dataset: str):
+        """Boot-time :class:`RecoveryStats` for a dataset, or None
+        (fresh boot / no durable storage)."""
+        return self._state(dataset).recovery
+
+    def sync(self) -> None:
+        """Fsync every dataset's WAL (graceful-shutdown hook)."""
+        with self._registry_lock:
+            states = list(self._states.values())
+        for state in states:
+            if state.storage is not None:
+                state.storage.sync()
 
     # -- introspection -----------------------------------------------------
 
@@ -395,6 +515,23 @@ class AnalyticsService:
                         "entries": len(state.cache),
                     }
                 ),
+                "storage": (
+                    None
+                    if state.storage is None
+                    else {
+                        **state.storage.stats(),
+                        "warm_hits": (
+                            state.cache.stats().warm_hits
+                            if state.cache is not None
+                            else 0
+                        ),
+                        "recovery": (
+                            None
+                            if state.recovery is None
+                            else state.recovery.as_dict()
+                        ),
+                    }
+                ),
             }
         return {
             "uptime_seconds": round(time.time() - self._started, 3),
@@ -405,12 +542,18 @@ class AnalyticsService:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Drain the coalescer and release engine pools (idempotent)."""
+        """Drain the coalescer, fsync+close storage, release engines.
+
+        Idempotent.  The coalescer drains first so in-flight batches
+        finish before the WAL handle closes.
+        """
         self.coalescer.close()
         with self._registry_lock:
             states = list(self._states.values())
         for state in states:
             state.engine.close()
+            if state.storage is not None:
+                state.storage.close()
 
     def __enter__(self) -> "AnalyticsService":
         return self

@@ -1,0 +1,375 @@
+"""The persistent second tier of the content-addressed view cache.
+
+A :class:`CacheStore` spills materialized views to disk, one file per
+content digest, and serves them back across process restarts: a fresh
+:class:`~repro.engine.viewcache.cache.ViewCache` wired to a populated
+store answers its first probes from disk (*warm hits*) instead of
+recomputing.
+
+Because keys are content addresses over relation fingerprints, disk
+entries need **no invalidation protocol**: after a delta commit the new
+epoch's signatures hash the new fingerprints, so stale entries are
+simply never asked for again.  They are garbage, not hazards — an
+optional byte budget prunes the oldest files when the tier grows.
+
+Corruption safety is absolute by construction: any failure to read,
+parse, or checksum an entry is a *miss* (and the bad file is removed),
+never an exception escaping to the engine.  A half-written file cannot
+exist — writes land in a temp file and ``os.replace`` into place.
+
+File framing (one view per file, ``<digest>.view``)::
+
+    b"RVC1" | u32 body_len | u32 crc32(body) | body
+    body = u32 header_len | header_json | raw column bytes
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..engine.interpreter import ViewData
+from ..engine.viewcache.signature import ViewSignature
+
+_MAGIC = b"RVC1"
+_FRAME = struct.Struct("<4sII")
+
+_SUFFIX = ".view"
+
+
+def _encode_entry(sig: ViewSignature, data: ViewData) -> bytes:
+    blobs: List[bytes] = []
+    key_specs = []
+    for name, col in zip(data.group_by, data.key_cols):
+        arr = np.ascontiguousarray(col)
+        raw = arr.tobytes()
+        key_specs.append([name, str(arr.dtype), len(raw)])
+        blobs.append(raw)
+    agg_specs = []
+    for col in data.agg_cols:
+        arr = np.ascontiguousarray(col)
+        raw = arr.tobytes()
+        agg_specs.append([str(arr.dtype), len(raw)])
+        blobs.append(raw)
+    support_spec = None
+    if data.support is not None:
+        arr = np.ascontiguousarray(data.support)
+        raw = arr.tobytes()
+        support_spec = [str(arr.dtype), len(raw)]
+        blobs.append(raw)
+    header = {
+        "digest": sig.digest,
+        "relations": sorted(sig.relations),
+        "keys": key_specs,
+        "aggs": agg_specs,
+        "support": support_spec,
+    }
+    header_bytes = json.dumps(header).encode()
+    body = (
+        struct.pack("<I", len(header_bytes))
+        + header_bytes
+        + b"".join(blobs)
+    )
+    return _FRAME.pack(_MAGIC, len(body), zlib.crc32(body) & 0xFFFFFFFF) + body
+
+
+def _decode_entry(raw: bytes, digest: str) -> Tuple[ViewSignature, ViewData]:
+    magic, body_len, crc = _FRAME.unpack_from(raw, 0)
+    if magic != _MAGIC:
+        raise ValueError("bad magic")
+    body = raw[_FRAME.size : _FRAME.size + body_len]
+    if len(body) != body_len or (zlib.crc32(body) & 0xFFFFFFFF) != crc:
+        raise ValueError("checksum mismatch")
+    (header_len,) = struct.unpack_from("<I", body, 0)
+    header = json.loads(body[4 : 4 + header_len].decode())
+    if header["digest"] != digest:
+        raise ValueError("digest mismatch")
+    offset = 4 + header_len
+
+    def take(dtype: str, nbytes: int) -> np.ndarray:
+        nonlocal offset
+        chunk = body[offset : offset + nbytes]
+        if len(chunk) != nbytes:
+            raise ValueError("entry truncated")
+        offset += nbytes
+        # copy: frombuffer views are read-only and the cache may merge
+        return np.frombuffer(chunk, dtype=np.dtype(dtype)).copy()
+
+    group_by = tuple(spec[0] for spec in header["keys"])
+    key_cols = [take(spec[1], spec[2]) for spec in header["keys"]]
+    agg_cols = [take(spec[0], spec[1]) for spec in header["aggs"]]
+    support = (
+        take(header["support"][0], header["support"][1])
+        if header["support"] is not None
+        else None
+    )
+    sig = ViewSignature(
+        digest=digest,
+        relations=frozenset(header["relations"]),
+        cacheable=True,
+        leaf_structure=None,
+    )
+    data = ViewData(
+        group_by=group_by,
+        key_cols=key_cols,
+        agg_cols=agg_cols,
+        support=support,
+    )
+    return sig, data
+
+
+class CacheStore:
+    """A directory of spilled views, keyed by content digest.
+
+    Implements the duck-typed second-tier protocol the in-memory
+    :class:`~repro.engine.viewcache.cache.ViewCache` probes: ``save``
+    and ``load``.  ``budget_bytes`` (optional) bounds the tier — when
+    exceeded, the oldest entries (by mtime) are pruned.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        budget_bytes: Optional[int] = None,
+        fsync: bool = False,
+    ):
+        self.directory = os.path.abspath(directory)
+        self.budget_bytes = budget_bytes
+        self.fsync = fsync
+        os.makedirs(self.directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._saves = 0
+        self._loads = 0
+        self._load_failures = 0
+        self._pruned = 0
+        # running totals so budget checks (every save) and stats
+        # (every GET /stats) are O(1), not a directory scan; one scan
+        # at construction, bookkept by save/delete, re-anchored to the
+        # exact scan by every prune()
+        self._tracked_bytes = 0
+        self._tracked_entries = 0
+        self._rescan_tracked()
+
+    def _rescan_tracked(self) -> None:
+        total = 0
+        count = 0
+        try:
+            with os.scandir(self.directory) as entries:
+                for entry in entries:
+                    if not entry.name.endswith(_SUFFIX):
+                        continue
+                    try:
+                        total += entry.stat().st_size
+                    except OSError:
+                        continue
+                    count += 1
+        except OSError:
+            pass
+        with self._lock:
+            self._tracked_bytes = total
+            self._tracked_entries = count
+
+    # -- paths -------------------------------------------------------------
+
+    def _path(self, digest: str) -> str:
+        if not digest or any(c in digest for c in "/\\.") or len(digest) > 128:
+            raise ValueError(f"bad digest {digest!r}")
+        return os.path.join(self.directory, digest + _SUFFIX)
+
+    # -- the second-tier protocol ------------------------------------------
+
+    def save(self, sig: ViewSignature, data: ViewData) -> bool:
+        """Spill one view to disk; returns whether it was persisted."""
+        if not sig.cacheable:
+            return False
+        try:
+            record = _encode_entry(sig, data)
+            path = self._path(sig.digest)
+            try:
+                replaced_bytes = os.path.getsize(path)
+            except OSError:
+                replaced_bytes = None
+            tmp = f"{path}.tmp-{os.getpid()}-{threading.get_ident()}"
+            with open(tmp, "wb") as handle:
+                handle.write(record)
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except (OSError, ValueError):
+            return False
+        over_budget = False
+        with self._lock:
+            self._saves += 1
+            self._tracked_bytes += len(record) - (replaced_bytes or 0)
+            if replaced_bytes is None:
+                self._tracked_entries += 1
+            over_budget = (
+                self.budget_bytes is not None
+                and self._tracked_bytes > self.budget_bytes
+            )
+        if over_budget:
+            self.prune()
+        return True
+
+    def load(
+        self, digest: str
+    ) -> Optional[Tuple[ViewSignature, ViewData]]:
+        """The spilled view for a digest, or None.
+
+        Never raises: a missing, torn, or corrupt file is a miss, and
+        corrupt files are deleted so they are not re-probed forever.
+        """
+        try:
+            path = self._path(digest)
+        except ValueError:
+            return None
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return None
+        try:
+            sig, data = _decode_entry(raw, digest)
+        except Exception:  # noqa: BLE001 - bad entry => miss, never crash
+            with self._lock:
+                self._load_failures += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            else:
+                with self._lock:
+                    self._tracked_bytes -= len(raw)
+                    self._tracked_entries -= 1
+            return None
+        with self._lock:
+            self._loads += 1
+        # refresh mtime so warm-served entries survive budget pruning
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return sig, data
+
+    # -- maintenance -------------------------------------------------------
+
+    def delete(self, digest: str) -> bool:
+        try:
+            path = self._path(digest)
+            size = os.path.getsize(path)
+            os.remove(path)
+        except (OSError, ValueError):
+            return False
+        with self._lock:
+            self._tracked_bytes -= size
+            self._tracked_entries -= 1
+        return True
+
+    def digests(self) -> List[str]:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return sorted(
+            name[: -len(_SUFFIX)]
+            for name in names
+            if name.endswith(_SUFFIX)
+        )
+
+    def clear(self) -> None:
+        for digest in self.digests():
+            self.delete(digest)
+
+    @property
+    def spilled_bytes(self) -> int:
+        total = 0
+        try:
+            with os.scandir(self.directory) as entries:
+                for entry in entries:
+                    if entry.name.endswith(_SUFFIX):
+                        try:
+                            total += entry.stat().st_size
+                        except OSError:
+                            pass
+        except OSError:
+            pass
+        return total
+
+    def __len__(self) -> int:
+        return len(self.digests())
+
+    def prune(self) -> int:
+        """Remove oldest entries until the byte budget holds.
+
+        Prunes down to 90% of the budget, not to the line: without the
+        hysteresis, a tier sitting at its budget would pay this full
+        directory scan on every subsequent save.
+        """
+        if self.budget_bytes is None:
+            return 0
+        target = int(self.budget_bytes * 0.9)
+        entries: List[Tuple[float, int, str]] = []
+        try:
+            with os.scandir(self.directory) as scan:
+                for entry in scan:
+                    if not entry.name.endswith(_SUFFIX):
+                        continue
+                    try:
+                        stat = entry.stat()
+                    except OSError:
+                        continue
+                    entries.append(
+                        (stat.st_mtime, stat.st_size, entry.path)
+                    )
+        except OSError:
+            return 0
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        for _, size, path in sorted(entries):
+            if total <= target:
+                break
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        with self._lock:
+            self._pruned += removed
+            # re-anchor the running totals to this scan's exact values
+            self._tracked_bytes = total
+            self._tracked_entries = len(entries) - removed
+        return removed
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """O(1) counters (no directory scan — safe to poll).
+
+        ``entries``/``spilled_bytes`` are the bookkept running totals;
+        they track the scanned truth exactly except across external
+        file-system mutation, and every :meth:`prune` re-anchors them.
+        """
+        with self._lock:
+            return {
+                "saves": self._saves,
+                "loads": self._loads,
+                "load_failures": self._load_failures,
+                "pruned": self._pruned,
+                "entries": self._tracked_entries,
+                "spilled_bytes": self._tracked_bytes,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CacheStore({self.directory!r}, {len(self)} entries, "
+            f"{self.spilled_bytes / (1 << 20):.2f} MiB)"
+        )

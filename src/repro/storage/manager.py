@@ -1,0 +1,385 @@
+"""One durable data directory per dataset: snapshot + WAL + cache tier.
+
+:class:`DatasetStorage` owns the on-disk layout and the recovery
+protocol the serving layer uses::
+
+    <dir>/CURRENT            # name of the live snapshot directory
+    <dir>/snap-<epoch>-<n>/  # columnar snapshots (manager-versioned)
+    <dir>/wal.log            # the delta write-ahead log
+    <dir>/cache/             # spilled content-addressed views
+
+The ``CURRENT`` pointer makes snapshot replacement atomic the LevelDB
+way: a new snapshot is written to a *fresh* directory, fsynced, and
+only then named by an atomic rewrite of ``CURRENT``; old snapshot
+directories are deleted afterwards.  A crash at any point leaves either
+the old or the new snapshot live — never neither.
+
+**Recovery** = load the ``CURRENT`` snapshot, then replay every WAL
+commit with an epoch greater than the snapshot's.  Because the serving
+layer logs each commit *before* publishing its epoch, the recovered
+database is byte-identical (and therefore fingerprint-identical) to
+the last published epoch — reloaded relations re-key to the same
+content digests, so the spilled cache tier serves warm hits
+immediately.
+
+**Compaction** folds the WAL into a fresh snapshot at the current
+epoch and truncates the log, bounding replay time after the next
+restart.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..data.database import Database
+from .cachestore import CacheStore
+from .snapshot import (
+    SnapshotError,
+    SnapshotInfo,
+    _fsync_dir,
+    load_snapshot,
+    write_snapshot,
+)
+from .wal import WalCommit, WriteAheadLog
+
+CURRENT_NAME = "CURRENT"
+WAL_NAME = "wal.log"
+CACHE_DIR_NAME = "cache"
+
+
+class StorageError(RuntimeError):
+    """The data directory is unusable (missing/corrupt CURRENT, ...)."""
+
+
+@dataclass
+class RecoveryStats:
+    """What one boot-time recovery did (logged and exposed in /stats)."""
+
+    snapshot_epoch: int
+    epoch: int
+    replayed_commits: int
+    replayed_changes: int
+    wal_tail_truncated: bool
+    snapshot_load_seconds: float
+    replay_seconds: float
+    cache_entries: int
+    cache_bytes: int
+
+    def as_dict(self) -> Dict:
+        return {
+            "snapshot_epoch": self.snapshot_epoch,
+            "epoch": self.epoch,
+            "replayed_commits": self.replayed_commits,
+            "replayed_changes": self.replayed_changes,
+            "wal_tail_truncated": self.wal_tail_truncated,
+            "snapshot_load_seconds": round(self.snapshot_load_seconds, 6),
+            "replay_seconds": round(self.replay_seconds, 6),
+            "cache_entries": self.cache_entries,
+            "cache_bytes": self.cache_bytes,
+        }
+
+
+@dataclass
+class RecoveredState:
+    """The result of :meth:`DatasetStorage.recover`."""
+
+    database: Database
+    epoch: int
+    stats: RecoveryStats
+
+
+class DatasetStorage:
+    """Durable storage for one dataset: snapshots, WAL, cache tier.
+
+    Typical lifecycles::
+
+        storage = DatasetStorage(path)
+        if storage.has_snapshot():
+            recovered = storage.recover()      # snapshot + WAL replay
+        else:
+            storage.initialize(database)       # first boot
+        ...
+        storage.log_commit(epoch, deltas)      # on every delta commit
+        storage.compact(database, epoch)       # fold WAL away
+        storage.close()
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        fsync: bool = True,
+        cache_budget_bytes: Optional[int] = None,
+    ):
+        self.directory = os.path.abspath(directory)
+        self.fsync = fsync
+        os.makedirs(self.directory, exist_ok=True)
+        self._lock = threading.Lock()
+        # resume the snapshot counter past every name already on disk:
+        # a fresh process must never regenerate the name CURRENT points
+        # at (write_snapshot's replace path is not crash-atomic; with
+        # unique names it is never taken for a live snapshot)
+        self._snap_counter = self._max_existing_snap_counter()
+        self._last_compaction: Optional[Dict] = None
+        # lazily cached: stats() must not re-read the manifest per call
+        self._snapshot_epoch: Optional[int] = None
+        self.cache_store = CacheStore(
+            os.path.join(self.directory, CACHE_DIR_NAME),
+            budget_bytes=cache_budget_bytes,
+        )
+        self.wal = WriteAheadLog(
+            os.path.join(self.directory, WAL_NAME), fsync=fsync
+        )
+
+    # -- the CURRENT pointer -----------------------------------------------
+
+    def _current_path(self) -> str:
+        return os.path.join(self.directory, CURRENT_NAME)
+
+    def current_snapshot_dir(self) -> Optional[str]:
+        try:
+            with open(self._current_path()) as handle:
+                name = handle.read().strip()
+        except OSError:
+            return None
+        if not name:
+            return None
+        return os.path.join(self.directory, name)
+
+    def has_snapshot(self) -> bool:
+        directory = self.current_snapshot_dir()
+        return directory is not None and os.path.isdir(directory)
+
+    def _set_current(self, snapshot_name: str) -> None:
+        path = self._current_path()
+        tmp = f"{path}.tmp-{os.getpid()}"
+        with open(tmp, "w") as handle:
+            handle.write(snapshot_name + "\n")
+            if self.fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        if self.fsync:
+            # the rename itself must be durable before anything relies
+            # on the new snapshot being live (compaction truncates the
+            # WAL right after this — losing the rename but not the
+            # truncate would roll recovery back past acked commits)
+            _fsync_dir(self.directory)
+
+    def _max_existing_snap_counter(self) -> int:
+        highest = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        for name in names:
+            if not name.startswith("snap-"):
+                continue
+            try:
+                highest = max(highest, int(name.rsplit("-", 1)[1]))
+            except (IndexError, ValueError):
+                continue
+        return highest
+
+    def _gc_snapshots(self, keep: str) -> None:
+        for name in os.listdir(self.directory):
+            if not name.startswith("snap-") or name == keep:
+                continue
+            shutil.rmtree(
+                os.path.join(self.directory, name), ignore_errors=True
+            )
+
+    def _write_versioned_snapshot(
+        self, database: Database, epoch: int
+    ) -> SnapshotInfo:
+        with self._lock:
+            self._snap_counter += 1
+            name = f"snap-{int(epoch):08d}-{self._snap_counter}"
+        info = write_snapshot(
+            database,
+            os.path.join(self.directory, name),
+            epoch=epoch,
+            fsync=self.fsync,
+        )
+        self._set_current(name)
+        self._gc_snapshots(keep=name)
+        with self._lock:
+            self._snapshot_epoch = int(epoch)
+        return info
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def initialize(
+        self, database: Database, *, epoch: int = 0
+    ) -> SnapshotInfo:
+        """First boot: persist the loaded database as the base snapshot.
+
+        Any pre-existing WAL is truncated *before* the new base goes
+        live: ``initialize`` establishes a new base, and commits logged
+        against an earlier one must never replay over it (they may not
+        even refer to the same rows).  Truncate-first makes the bad
+        crash window benign — a crash between truncate and snapshot
+        leaves the old base with an empty WAL, i.e. a state the
+        operator explicitly asked to abandon, rather than old commits
+        silently corrupting the new base.
+        """
+        if self.wal.n_commits or self.wal.nbytes:
+            self.wal.truncate()
+        return self._write_versioned_snapshot(database, epoch)
+
+    def recover(self) -> RecoveredState:
+        """Load the current snapshot and replay the WAL over it."""
+        snapshot_dir = self.current_snapshot_dir()
+        if snapshot_dir is None or not os.path.isdir(snapshot_dir):
+            raise StorageError(
+                f"no snapshot to recover in {self.directory!r}"
+            )
+        t0 = time.perf_counter()
+        database, info = load_snapshot(snapshot_dir)
+        t1 = time.perf_counter()
+        with self._lock:
+            self._snapshot_epoch = info.epoch
+        epoch = info.epoch
+        replayed = 0
+        changes = 0
+        for commit in self.wal.replay():
+            # the monotonic guard covers two cases with one test:
+            # commits already folded into the snapshot, and a
+            # resurrected duplicate of an epoch a later commit reused
+            # (possible only if a failed append's scrub was lost to a
+            # power cut) — never apply an epoch twice
+            if commit.epoch <= epoch:
+                continue
+            for delta in commit.deltas:
+                if delta.is_empty:
+                    continue
+                step = database.apply_delta(delta)
+                database = step.database
+                changes += delta.n_changes()
+            epoch = commit.epoch
+            replayed += 1
+        stats = RecoveryStats(
+            snapshot_epoch=info.epoch,
+            epoch=epoch,
+            replayed_commits=replayed,
+            replayed_changes=changes,
+            wal_tail_truncated=self.wal.tail_truncated,
+            snapshot_load_seconds=t1 - t0,
+            replay_seconds=time.perf_counter() - t1,
+            cache_entries=len(self.cache_store),
+            cache_bytes=self.cache_store.spilled_bytes,
+        )
+        return RecoveredState(database=database, epoch=epoch, stats=stats)
+
+    def log_commit(self, epoch: int, deltas) -> None:
+        """Durably record one commit before its epoch is published."""
+        self.wal.append(epoch, [d for d in deltas if not d.is_empty])
+
+    def compact(self, database: Database, epoch: int) -> SnapshotInfo:
+        """Fold the WAL into a fresh snapshot of ``database`` at ``epoch``.
+
+        The WAL is truncated only after the new snapshot is live, so a
+        crash mid-compaction replays the old snapshot + full WAL.
+        """
+        info = self._write_versioned_snapshot(database, epoch)
+        self.wal.truncate()
+        with self._lock:
+            self._last_compaction = {
+                "epoch": int(epoch),
+                "unix_time": time.time(),
+            }
+        return info
+
+    def sync(self) -> None:
+        """Fsync the WAL (used by graceful-shutdown handlers)."""
+        self.wal.sync()
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def __enter__(self) -> "DatasetStorage":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def wal_len(self) -> int:
+        return self.wal.n_commits
+
+    @property
+    def last_compaction(self) -> Optional[Dict]:
+        with self._lock:
+            return dict(self._last_compaction) if self._last_compaction else None
+
+    def snapshot_epoch(self) -> Optional[int]:
+        """Epoch of the live snapshot (cached; manifest read at most
+        once per writer event — initialize/recover/compact refresh it)."""
+        with self._lock:
+            if self._snapshot_epoch is not None:
+                return self._snapshot_epoch
+        directory = self.current_snapshot_dir()
+        if directory is None:
+            return None
+        try:
+            from .snapshot import read_manifest
+
+            epoch = int(read_manifest(directory)["epoch"])
+        except (SnapshotError, KeyError, ValueError):
+            return None
+        with self._lock:
+            self._snapshot_epoch = epoch
+        return epoch
+
+    def stats(self) -> Dict:
+        """The ``storage`` section of ``GET /stats`` for one dataset."""
+        cache = self.cache_store.stats()
+        return {
+            "data_dir": self.directory,
+            "wal_len": self.wal_len,
+            "wal_bytes": self.wal.nbytes,
+            "snapshot_epoch": self.snapshot_epoch(),
+            "last_compaction": self.last_compaction,
+            "spilled_entries": cache["entries"],
+            "spilled_bytes": cache["spilled_bytes"],
+            "cache_loads": cache["loads"],
+            "cache_load_failures": cache["load_failures"],
+        }
+
+
+def dataset_dirs(data_dir: str) -> List[str]:
+    """Sub-directories of ``data_dir`` that hold dataset storage.
+
+    A directory with a ``CURRENT`` file *is* a dataset storage dir (the
+    single-dataset layout); otherwise every child with one is returned.
+    """
+    data_dir = os.path.abspath(data_dir)
+    if os.path.isfile(os.path.join(data_dir, CURRENT_NAME)):
+        return [data_dir]
+    found: List[str] = []
+    try:
+        names = sorted(os.listdir(data_dir))
+    except OSError:
+        return []
+    for name in names:
+        child = os.path.join(data_dir, name)
+        if os.path.isfile(os.path.join(child, CURRENT_NAME)):
+            found.append(child)
+    return found
+
+
+__all__ = [
+    "DatasetStorage",
+    "RecoveredState",
+    "RecoveryStats",
+    "StorageError",
+    "WalCommit",
+    "dataset_dirs",
+]

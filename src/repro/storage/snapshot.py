@@ -1,0 +1,290 @@
+"""Versioned columnar on-disk snapshots of a :class:`Database`.
+
+A snapshot is one directory::
+
+    <dir>/manifest.json            # schema, row counts, checksums, fps
+    <dir>/data/<relation>/<column>.col   # raw little-endian column bytes
+
+The format is deliberately primitive — raw ``ndarray.tobytes()`` per
+column plus a JSON manifest — because primitive is what recovers: any
+tool that can read JSON and ``np.fromfile`` can open it, and every
+column carries a CRC32 so torn or bit-rotted files are detected at
+load, not silently served.
+
+**The round-trip property.**  The manifest records each relation's
+content fingerprint (:func:`repro.engine.viewcache.signature.
+relation_fingerprint`, the same hash the view cache keys on).  Loading
+verifies bytes (CRC) *and* recomputes the fingerprint, so a loaded
+relation is guaranteed to re-key to exactly the digests the original
+produced — which is what lets a restarted process serve warm cache
+hits from a persisted :class:`~repro.storage.cachestore.CacheStore`
+against a snapshot-loaded database.
+
+Writes are atomic at directory granularity: everything lands in a
+temp sibling first, files are fsynced, then the directory is renamed
+into place.  A crash mid-write leaves at worst a ``*.tmp-*`` orphan,
+never a half-valid snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.database import Database
+from ..data.relation import Relation
+from ..data.schema import Attribute, Schema
+from ..engine.viewcache.signature import relation_fingerprint
+
+FORMAT_NAME = "repro-snapshot"
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot directory is missing, malformed, or corrupt."""
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """What one snapshot holds (from its manifest)."""
+
+    directory: str
+    epoch: int
+    database_name: str
+    n_relations: int
+    n_rows: int
+    nbytes: int
+    created_unix: float
+    #: relation name -> content fingerprint at write time
+    fingerprints: Dict[str, str]
+
+
+def _safe_name(name: str) -> str:
+    """A relation/column name usable as a path component."""
+    if not name or name != os.path.basename(name) or name.startswith("."):
+        raise SnapshotError(f"name {name!r} is not snapshot-safe")
+    return name
+
+
+def _fsync_file(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: str) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_snapshot(
+    database: Database,
+    directory: str,
+    *,
+    epoch: int = 0,
+    fsync: bool = True,
+) -> SnapshotInfo:
+    """Write a snapshot of ``database`` at ``directory`` (atomically).
+
+    An existing snapshot at ``directory`` is replaced only after the
+    new one is fully on disk.
+    """
+    directory = os.path.abspath(directory)
+    parent = os.path.dirname(directory)
+    os.makedirs(parent, exist_ok=True)
+    tmp = f"{directory}.tmp-{os.getpid()}"
+    if os.path.exists(tmp):
+        shutil.rmtree(tmp)
+    os.makedirs(os.path.join(tmp, "data"))
+    relations: List[dict] = []
+    total_rows = 0
+    total_bytes = 0
+    fingerprints: Dict[str, str] = {}
+    for relation in database:
+        rel_dir = os.path.join(tmp, "data", _safe_name(relation.name))
+        os.makedirs(rel_dir)
+        columns: List[dict] = []
+        for attr in relation.schema:
+            column = np.ascontiguousarray(relation.column(attr.name))
+            raw = column.tobytes()
+            file_rel = os.path.join(
+                "data", relation.name, f"{_safe_name(attr.name)}.col"
+            )
+            path = os.path.join(tmp, file_rel)
+            with open(path, "wb") as handle:
+                handle.write(raw)
+            if fsync:
+                _fsync_file(path)
+            columns.append(
+                {
+                    "name": attr.name,
+                    "dtype": str(column.dtype),
+                    "file": file_rel,
+                    "nbytes": len(raw),
+                    "crc32": zlib.crc32(raw) & 0xFFFFFFFF,
+                }
+            )
+            total_bytes += len(raw)
+        fingerprint = relation_fingerprint(relation)
+        fingerprints[relation.name] = fingerprint
+        total_rows += relation.n_rows
+        relations.append(
+            {
+                "name": relation.name,
+                "n_rows": relation.n_rows,
+                "attributes": [
+                    {
+                        "name": a.name,
+                        "kind": a.kind,
+                        "dtype": str(a.dtype),
+                    }
+                    for a in relation.schema
+                ],
+                "columns": columns,
+                "fingerprint": fingerprint,
+            }
+        )
+    created = time.time()
+    manifest = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "database": database.name,
+        "epoch": int(epoch),
+        "created_unix": created,
+        "relations": relations,
+    }
+    manifest_path = os.path.join(tmp, MANIFEST_NAME)
+    with open(manifest_path, "w") as handle:
+        json.dump(manifest, handle, indent=1)
+    if fsync:
+        _fsync_file(manifest_path)
+        _fsync_dir(tmp)
+    old: Optional[str] = None
+    if os.path.exists(directory):
+        old = f"{directory}.old-{os.getpid()}"
+        os.rename(directory, old)
+    os.rename(tmp, directory)
+    if fsync:
+        _fsync_dir(parent)
+    if old is not None:
+        shutil.rmtree(old, ignore_errors=True)
+    return SnapshotInfo(
+        directory=directory,
+        epoch=int(epoch),
+        database_name=database.name,
+        n_relations=len(database),
+        n_rows=total_rows,
+        nbytes=total_bytes,
+        created_unix=created,
+        fingerprints=fingerprints,
+    )
+
+
+def read_manifest(directory: str) -> dict:
+    """The parsed (and format-checked) manifest of a snapshot dir."""
+    path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(path) as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise SnapshotError(f"no snapshot at {directory!r}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"unreadable manifest {path!r}: {exc}") from None
+    if manifest.get("format") != FORMAT_NAME:
+        raise SnapshotError(f"{path!r} is not a {FORMAT_NAME} manifest")
+    if manifest.get("version") != FORMAT_VERSION:
+        raise SnapshotError(
+            f"{path!r}: unsupported snapshot version "
+            f"{manifest.get('version')!r} (expected {FORMAT_VERSION})"
+        )
+    return manifest
+
+
+def load_snapshot(
+    directory: str, *, verify: bool = True
+) -> Tuple[Database, SnapshotInfo]:
+    """Load a snapshot back into an in-memory :class:`Database`.
+
+    With ``verify`` (the default) every column's CRC32 and every
+    relation's content fingerprint are checked against the manifest;
+    any mismatch raises :class:`SnapshotError` rather than serving
+    silently corrupt data.
+    """
+    directory = os.path.abspath(directory)
+    manifest = read_manifest(directory)
+    relations: List[Relation] = []
+    total_rows = 0
+    total_bytes = 0
+    fingerprints: Dict[str, str] = {}
+    for spec in manifest["relations"]:
+        attrs = [
+            Attribute(a["name"], a["kind"], np.dtype(a["dtype"]))
+            for a in spec["attributes"]
+        ]
+        n_rows = int(spec["n_rows"])
+        columns: Dict[str, np.ndarray] = {}
+        for col in spec["columns"]:
+            path = os.path.join(directory, col["file"])
+            dtype = np.dtype(col["dtype"])
+            try:
+                raw = np.fromfile(path, dtype=dtype)
+            except (OSError, ValueError) as exc:
+                raise SnapshotError(
+                    f"column file {path!r} unreadable: {exc}"
+                ) from None
+            if raw.nbytes != col["nbytes"] or len(raw) != n_rows:
+                raise SnapshotError(
+                    f"column file {path!r} truncated: {raw.nbytes} bytes, "
+                    f"manifest says {col['nbytes']}"
+                )
+            if verify:
+                crc = zlib.crc32(raw.tobytes()) & 0xFFFFFFFF
+                if crc != col["crc32"]:
+                    raise SnapshotError(
+                        f"column file {path!r} failed its checksum"
+                    )
+            columns[col["name"]] = raw
+            total_bytes += raw.nbytes
+        relation = Relation(spec["name"], Schema(attrs), columns)
+        if verify:
+            fingerprint = relation_fingerprint(relation)
+            if fingerprint != spec["fingerprint"]:
+                raise SnapshotError(
+                    f"relation {spec['name']!r} fingerprint mismatch: "
+                    "snapshot does not round-trip"
+                )
+            fingerprints[spec["name"]] = fingerprint
+        else:
+            fingerprints[spec["name"]] = spec["fingerprint"]
+        relations.append(relation)
+        total_rows += relation.n_rows
+    database = Database(relations, name=manifest["database"])
+    info = SnapshotInfo(
+        directory=directory,
+        epoch=int(manifest["epoch"]),
+        database_name=manifest["database"],
+        n_relations=len(relations),
+        n_rows=total_rows,
+        nbytes=total_bytes,
+        created_unix=float(manifest.get("created_unix", 0.0)),
+        fingerprints=fingerprints,
+    )
+    return database, info

@@ -1,0 +1,234 @@
+"""AnalyticsService durability: WAL'd epochs, restarts, warm caches."""
+
+import numpy as np
+import pytest
+
+from repro import AnalyticsService, DatasetStorage, DeltaBatch
+from repro.engine.viewcache.signature import database_fingerprint
+
+from ..engine.helpers import WORKLOADS, assert_results_equal
+
+pytestmark = pytest.mark.timeout(120)
+
+
+def make_service(data_dir, toy_db, **kwargs):
+    service = AnalyticsService(
+        coalesce_ms=0, cache_mb=8, data_dir=data_dir, **kwargs
+    )
+    service.register_dataset("toy", toy_db)
+    for name, factory in WORKLOADS.items():
+        service.register_workload("toy", name, factory())
+    return service
+
+
+def insert_delta(db, n=3):
+    sales = db.relation("Sales")
+    return DeltaBatch.insert(
+        "Sales",
+        {name: sales.column(name)[:n] for name in sales.schema.names},
+    )
+
+
+class TestServiceDurability:
+    def test_restart_restores_epoch_and_data(self, toy_db, tmp_path):
+        data_dir = str(tmp_path / "data")
+        with make_service(data_dir, toy_db) as service:
+            service.apply_delta("toy", insert_delta(toy_db))
+            service.apply_delta(
+                "toy", DeltaBatch.delete("Sales", np.array([0]))
+            )
+            assert service.epoch("toy") == 2
+            live_db = service.snapshot("toy").database
+            before = service.query("toy", ["groupbys"], timeout=60)
+
+        # "restart": a brand-new service over the same data dir; the
+        # (stale) generator database passed in is replaced by recovery
+        with make_service(data_dir, toy_db) as revived:
+            assert revived.epoch("toy") == 2
+            recovery = revived.recovery("toy")
+            assert recovery is not None
+            assert recovery.replayed_commits == 2
+            assert database_fingerprint(
+                revived.snapshot("toy").database
+            ) == database_fingerprint(live_db)
+            after = revived.query("toy", ["groupbys"], timeout=60)
+        assert after.epoch == before.epoch == 2
+        assert_results_equal(
+            after.results["groupbys"],
+            before.results["groupbys"],
+            WORKLOADS["groupbys"](),
+        )
+
+    def test_warm_cache_served_from_disk_on_restart(
+        self, toy_db, tmp_path
+    ):
+        data_dir = str(tmp_path / "data")
+        with make_service(data_dir, toy_db) as service:
+            service.query("toy", ["covar_style"], timeout=60)
+            spilled = service.stats()["datasets"]["toy"]["storage"][
+                "spilled_entries"
+            ]
+            assert spilled > 0
+
+        with make_service(data_dir, toy_db) as revived:
+            revived.query("toy", ["covar_style"], timeout=60)
+            stats = revived.stats()["datasets"]["toy"]
+            assert stats["cache"]["warm_hits"] > 0
+            assert stats["cache"]["misses"] == 0
+            assert stats["storage"]["warm_hits"] == (
+                stats["cache"]["warm_hits"]
+            )
+
+    def test_wal_written_before_epoch_swap(self, toy_db, tmp_path):
+        data_dir = str(tmp_path / "data")
+        with make_service(data_dir, toy_db) as service:
+            service.apply_delta("toy", insert_delta(toy_db))
+            storage_stats = service.stats()["datasets"]["toy"]["storage"]
+            assert storage_stats["wal_len"] == 1
+            # an empty delta commits nothing and logs nothing
+            service.apply_delta(
+                "toy", DeltaBatch.insert("Sales", {})
+            )
+            assert service.epoch("toy") == 1
+            storage_stats = service.stats()["datasets"]["toy"]["storage"]
+            assert storage_stats["wal_len"] == 1
+
+    def test_auto_compaction_bounds_the_wal(self, toy_db, tmp_path):
+        data_dir = str(tmp_path / "data")
+        with make_service(data_dir, toy_db, compact_wal=2) as service:
+            for _ in range(5):
+                service.apply_delta("toy", insert_delta(toy_db, n=1))
+            stats = service.stats()["datasets"]["toy"]["storage"]
+            assert stats["wal_len"] < 2
+            assert stats["last_compaction"] is not None
+            assert stats["snapshot_epoch"] >= 2
+            live_db = service.snapshot("toy").database
+            epoch = service.epoch("toy")
+
+        with make_service(data_dir, toy_db) as revived:
+            assert revived.epoch("toy") == epoch
+            assert database_fingerprint(
+                revived.snapshot("toy").database
+            ) == database_fingerprint(live_db)
+
+    def test_manual_compact(self, toy_db, tmp_path):
+        data_dir = str(tmp_path / "data")
+        with make_service(data_dir, toy_db) as service:
+            service.apply_delta("toy", insert_delta(toy_db))
+            service.compact("toy")
+            stats = service.stats()["datasets"]["toy"]["storage"]
+            assert stats["wal_len"] == 0
+            assert stats["snapshot_epoch"] == 1
+
+    def test_stats_storage_section_shape(self, toy_db, tmp_path):
+        data_dir = str(tmp_path / "data")
+        with make_service(data_dir, toy_db) as service:
+            service.query("toy", ["counts"], timeout=60)
+            service.apply_delta("toy", insert_delta(toy_db))
+            storage = service.stats()["datasets"]["toy"]["storage"]
+        for field in (
+            "wal_len",
+            "wal_bytes",
+            "snapshot_epoch",
+            "last_compaction",
+            "spilled_bytes",
+            "spilled_entries",
+            "warm_hits",
+            "recovery",
+        ):
+            assert field in storage
+        assert storage["recovery"] is None  # first boot
+
+    def test_without_data_dir_storage_is_none(self, toy_db):
+        service = AnalyticsService(coalesce_ms=0, cache_mb=8)
+        service.register_dataset("toy", toy_db)
+        try:
+            assert service.recovery("toy") is None
+            assert (
+                service.stats()["datasets"]["toy"]["storage"] is None
+            )
+        finally:
+            service.close()
+
+    def test_sync_flushes_wal(self, toy_db, tmp_path):
+        data_dir = str(tmp_path / "data")
+        with make_service(data_dir, toy_db) as service:
+            service.apply_delta("toy", insert_delta(toy_db))
+            service.sync()  # must not raise; WAL already durable
+
+    def test_failed_wal_append_rolls_the_commit_back(
+        self, toy_db, tmp_path
+    ):
+        """A commit that cannot be made durable must not be served:
+        memory is rolled back to the published epoch, so recovery and
+        the live service never diverge."""
+        data_dir = str(tmp_path / "data")
+        with make_service(data_dir, toy_db) as service:
+            service.apply_delta("toy", insert_delta(toy_db))
+            before = service.query("toy", ["groupbys"], timeout=60)
+            state = service._state("toy")
+
+            def broken(epoch, deltas):
+                raise OSError("disk full")
+
+            original = state.storage.log_commit
+            state.storage.log_commit = broken
+            try:
+                with pytest.raises(OSError, match="disk full"):
+                    service.apply_delta("toy", insert_delta(toy_db))
+            finally:
+                state.storage.log_commit = original
+            # epoch unchanged, and the served data matches it
+            assert service.epoch("toy") == 1
+            after = service.query("toy", ["groupbys"], timeout=60)
+            assert after.epoch == 1
+            assert_results_equal(
+                after.results["groupbys"],
+                before.results["groupbys"],
+                WORKLOADS["groupbys"](),
+            )
+            # the WAL can still take the next commit normally
+            response = service.apply_delta("toy", insert_delta(toy_db))
+            assert response.epoch == 2
+            live_db = service.snapshot("toy").database
+
+        with make_service(data_dir, toy_db) as revived:
+            assert revived.epoch("toy") == 2
+            assert database_fingerprint(
+                revived.snapshot("toy").database
+            ) == database_fingerprint(live_db)
+
+    def test_spill_budget_prunes_stale_entries(self, toy_db, tmp_path):
+        data_dir = str(tmp_path / "data")
+        # a tiny disk budget: the tier must prune rather than grow
+        with make_service(data_dir, toy_db, spill_mb=0.01) as service:
+            service.query("toy", ["covar_style"], timeout=60)
+            service.apply_delta("toy", insert_delta(toy_db))
+            service.query("toy", ["covar_style"], timeout=60)
+            storage = service.stats()["datasets"]["toy"]["storage"]
+            assert storage["spilled_bytes"] <= int(0.01 * (1 << 20))
+
+    def test_recovered_equals_offline_ground_truth(
+        self, toy_db, tmp_path
+    ):
+        """The isolation-test invariant, extended across a restart:
+        the recovered epoch answers exactly what an offline engine
+        computes over the same delta sequence."""
+        from repro import IncrementalEngine
+
+        data_dir = str(tmp_path / "data")
+        deltas = [insert_delta(toy_db, n=2) for _ in range(3)]
+        with make_service(data_dir, toy_db) as service:
+            for delta in deltas:
+                service.apply_delta("toy", delta)
+
+        with make_service(data_dir, toy_db) as revived:
+            served = revived.query("toy", ["groupbys"], timeout=60)
+
+        ground = IncrementalEngine(toy_db)
+        batch = WORKLOADS["groupbys"]()
+        ground.run(batch)
+        for delta in deltas:
+            ground.apply_delta(delta)
+        expected = ground.run(batch)
+        assert_results_equal(served.results["groupbys"], expected, batch)

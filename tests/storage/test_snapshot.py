@@ -1,0 +1,165 @@
+"""Columnar snapshot format: round-trip, integrity, atomicity."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import load_snapshot, write_snapshot
+from repro.data import Database, Relation
+from repro.data.schema import Schema, categorical, continuous, key
+from repro.engine.viewcache.signature import (
+    database_fingerprint,
+    relation_fingerprint,
+)
+from repro.storage.snapshot import SnapshotError, read_manifest
+
+
+class TestRoundTrip:
+    def test_database_round_trips_bit_exact(self, toy_db, tmp_path):
+        write_snapshot(toy_db, str(tmp_path / "snap"), epoch=7)
+        loaded, info = load_snapshot(str(tmp_path / "snap"))
+        assert info.epoch == 7
+        assert info.database_name == toy_db.name
+        assert set(loaded.relation_names) == set(toy_db.relation_names)
+        for relation in toy_db:
+            other = loaded.relation(relation.name)
+            assert other.schema == relation.schema
+            for name in relation.schema.names:
+                np.testing.assert_array_equal(
+                    other.column(name), relation.column(name)
+                )
+
+    def test_fingerprints_identical_after_reload(self, toy_db, tmp_path):
+        """The property the warm cache depends on: reloaded relations
+        re-key to exactly the digests the original produced."""
+        info = write_snapshot(toy_db, str(tmp_path / "snap"))
+        loaded, loaded_info = load_snapshot(str(tmp_path / "snap"))
+        for relation in toy_db:
+            assert info.fingerprints[
+                relation.name
+            ] == relation_fingerprint(relation)
+            assert relation_fingerprint(
+                loaded.relation(relation.name)
+            ) == relation_fingerprint(relation)
+        assert database_fingerprint(loaded) == database_fingerprint(toy_db)
+        assert loaded_info.fingerprints == info.fingerprints
+
+    def test_manifest_carries_schema_and_counts(self, toy_db, tmp_path):
+        write_snapshot(toy_db, str(tmp_path / "snap"))
+        manifest = read_manifest(str(tmp_path / "snap"))
+        by_name = {spec["name"]: spec for spec in manifest["relations"]}
+        sales = by_name["Sales"]
+        assert sales["n_rows"] == toy_db.relation("Sales").n_rows
+        kinds = {a["name"]: a["kind"] for a in sales["attributes"]}
+        assert kinds["units"] == "continuous"
+        assert kinds["date"] == "key"
+
+    def test_overwrite_replaces_previous_snapshot(self, toy_db, tmp_path):
+        target = str(tmp_path / "snap")
+        write_snapshot(toy_db, target, epoch=1)
+        smaller = Database(
+            [toy_db.relation("Oil")], name="just-oil"
+        )
+        write_snapshot(smaller, target, epoch=2)
+        loaded, info = load_snapshot(target)
+        assert info.epoch == 2
+        assert list(loaded.relation_names) == ["Oil"]
+
+
+class TestIntegrity:
+    def test_flipped_byte_fails_checksum(self, toy_db, tmp_path):
+        write_snapshot(toy_db, str(tmp_path / "snap"))
+        victim = tmp_path / "snap" / "data" / "Sales" / "units.col"
+        raw = bytearray(victim.read_bytes())
+        raw[3] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="checksum"):
+            load_snapshot(str(tmp_path / "snap"))
+
+    def test_truncated_column_detected(self, toy_db, tmp_path):
+        write_snapshot(toy_db, str(tmp_path / "snap"))
+        victim = tmp_path / "snap" / "data" / "Sales" / "units.col"
+        victim.write_bytes(victim.read_bytes()[:-8])
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(str(tmp_path / "snap"))
+
+    def test_tampered_fingerprint_detected(self, toy_db, tmp_path):
+        write_snapshot(toy_db, str(tmp_path / "snap"))
+        manifest_path = tmp_path / "snap" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["relations"][0]["fingerprint"] = "0" * 64
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="fingerprint"):
+            load_snapshot(str(tmp_path / "snap"))
+
+    def test_verify_false_skips_checks(self, toy_db, tmp_path):
+        write_snapshot(toy_db, str(tmp_path / "snap"))
+        manifest_path = tmp_path / "snap" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["relations"][0]["fingerprint"] = "0" * 64
+        manifest_path.write_text(json.dumps(manifest))
+        loaded, _info = load_snapshot(
+            str(tmp_path / "snap"), verify=False
+        )
+        assert len(loaded) == len(toy_db)
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(SnapshotError, match="no snapshot"):
+            load_snapshot(str(tmp_path / "nowhere"))
+
+    def test_wrong_format_rejected(self, toy_db, tmp_path):
+        write_snapshot(toy_db, str(tmp_path / "snap"))
+        manifest_path = tmp_path / "snap" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = "something-else"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="not a repro-snapshot"):
+            load_snapshot(str(tmp_path / "snap"))
+
+    def test_unsafe_relation_name_rejected(self, tmp_path):
+        bad = Relation(
+            "../escape",
+            Schema([continuous("x")]),
+            {"x": np.arange(3.0)},
+        )
+        with pytest.raises(SnapshotError, match="not snapshot-safe"):
+            write_snapshot(
+                Database([bad], name="bad"), str(tmp_path / "snap")
+            )
+
+    def test_no_tmp_litter_after_write(self, toy_db, tmp_path):
+        write_snapshot(toy_db, str(tmp_path / "snap"))
+        write_snapshot(toy_db, str(tmp_path / "snap"))
+        leftovers = [
+            name
+            for name in os.listdir(tmp_path)
+            if ".tmp-" in name or ".old-" in name
+        ]
+        assert leftovers == []
+
+
+class TestMixedDtypes:
+    def test_int32_and_float32_columns_survive(self, tmp_path):
+        relation = Relation(
+            "Mixed",
+            Schema(
+                [
+                    key("k"),
+                    categorical("c"),
+                    continuous("f"),
+                ]
+            ),
+            {
+                "k": np.arange(10, dtype=np.int64),
+                "c": np.arange(10, dtype=np.int64) % 3,
+                "f": np.linspace(0, 1, 10, dtype=np.float64),
+            },
+        )
+        db = Database([relation], name="mixed")
+        write_snapshot(db, str(tmp_path / "snap"))
+        loaded, _ = load_snapshot(str(tmp_path / "snap"))
+        other = loaded.relation("Mixed")
+        for name in relation.schema.names:
+            assert other.column(name).dtype == relation.column(name).dtype
