@@ -9,8 +9,12 @@ server subsystem exists for:
   DAGs) versus off (every request executes alone).  Acceptance bar:
   coalescing on sustains >= 1.2x the request throughput;
 * **latency under writes** — p50/p95 query latency while a background
-  delta stream commits epochs (recorded, no bar: the point is that
-  reads keep flowing against consistent snapshots during commits).
+  delta stream commits epochs on the root *and* on dimension relations
+  (recorded, no bar on latency: the point is that reads keep flowing
+  against consistent snapshots during commits).  The delta propagation
+  bar rides here: under the mixed stream the view cache must *patch*
+  at least as many entries as it invalidates — dimension deltas repair
+  interior views in place instead of evicting them.
 
 Everything is recorded in ``BENCH_server.json`` at the repo root
 *before* the throughput bar is asserted, so a regression still leaves
@@ -177,23 +181,37 @@ def test_server_benchmark():
         ds, workloads, coalesce_ms=5.0, cache_mb=256
     )
     root = service._state("retailer").ivm.root
+    # mixed write stream: the root fact table plus every dimension
+    # relation in rotation — dimension deltas exercise interior-DAG
+    # propagation, the case that used to evict instead of patch
+    targets = [root] + [
+        rel.name
+        for rel in service.snapshot("retailer").database
+        if rel.name != root
+    ]
     stop = threading.Event()
     deltas_committed = [0]
 
     def delta_stream():
         rng = np.random.default_rng(5)
-        while not stop.is_set():
-            fact = service.snapshot("retailer").database.relation(root)
-            n_delta = max(1, int(fact.n_rows * DELTA_FRACTION))
-            idx = rng.integers(0, fact.n_rows, n_delta)
+        for step in itertools.count():
+            if stop.is_set():
+                return
+            name = targets[step % len(targets)]
+            rel = service.snapshot("retailer").database.relation(name)
+            if name == root:
+                n_delta = max(1, int(rel.n_rows * DELTA_FRACTION))
+            else:
+                n_delta = max(1, min(3, rel.n_rows // 4))
+            idx = rng.integers(0, rel.n_rows, n_delta)
             inserts = {
-                a: fact.column(a)[idx] for a in fact.schema.names
+                a: rel.column(a)[idx] for a in rel.schema.names
             }
-            deletes = rng.choice(fact.n_rows, n_delta, replace=False)
+            deletes = rng.choice(rel.n_rows, n_delta, replace=False)
             service.apply_delta(
                 "retailer",
                 DeltaBatch(
-                    root, inserts=inserts, delete_indices=deletes
+                    name, inserts=inserts, delete_indices=deletes
                 ),
             )
             deltas_committed[0] += 1
@@ -213,7 +231,9 @@ def test_server_benchmark():
     finally:
         stop.set()
         writer.join(60)
-    cache_stats = service.stats()["datasets"]["retailer"]["cache"]
+    dataset_stats = service.stats()["datasets"]["retailer"]
+    cache_stats = dataset_stats["cache"]
+    ivm_stats = dataset_stats["ivm"]
     service.close()
     p50, p95 = np.percentile(np.asarray(latencies) * 1000.0, [50, 95])
 
@@ -235,11 +255,13 @@ def test_server_benchmark():
             "n_requests": LATENCY_REQUESTS,
             "delta_interval_ms": DELTA_INTERVAL_S * 1000,
             "delta_fraction": DELTA_FRACTION,
+            "delta_targets": targets,
             "deltas_committed": deltas_committed[0],
             "epochs_observed": len(epochs_seen),
             "p50_ms": round(float(p50), 3),
             "p95_ms": round(float(p95), 3),
             "cache_stats": cache_stats,
+            "ivm_stats": ivm_stats,
         },
     }
     with open(BENCH_JSON, "w") as handle:
@@ -257,8 +279,12 @@ def test_server_benchmark():
             f"{measurements['off']['requests_per_second']:8.2f} req/s\n"
             f"speedup         {speedup:9.2f}x  (bar {SPEEDUP_BAR}x)\n"
             f"p50 latency under delta stream: {p50:.1f}ms "
-            f"(p95 {p95:.1f}ms, {deltas_committed[0]} deltas, "
+            f"(p95 {p95:.1f}ms, {deltas_committed[0]} deltas over "
+            f"{len(targets)} relations, "
             f"{len(epochs_seen)} epochs observed)\n"
+            f"view cache under deltas: {cache_stats['patches']} patches "
+            f"vs {cache_stats['invalidations']} invalidations "
+            f"({ivm_stats['fallbacks']} IVM fallbacks)\n"
         )
 
     assert speedup >= SPEEDUP_BAR, (
@@ -270,4 +296,10 @@ def test_server_benchmark():
     assert len(epochs_seen) >= 2, (
         "latency phase never observed a committed epoch change; the "
         "delta stream did not overlap the reads"
+    )
+    assert cache_stats["patches"] >= cache_stats["invalidations"], (
+        "under a mixed root+dimension delta stream the cache must "
+        "patch at least as many views as it invalidates; measured "
+        f"{cache_stats['patches']} patches vs "
+        f"{cache_stats['invalidations']} invalidations"
     )

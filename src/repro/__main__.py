@@ -47,10 +47,35 @@ from . import (
 from .datasets import ALL_DATASETS
 from .engine.explain import explain
 from .engine.sql import render_batch_sql
-from .ml import CovarBatch, build_cube_batch, build_mi_batch
+from .ml import (
+    CovarBatch,
+    PolynomialCovarBatch,
+    build_cube_batch,
+    build_mi_batch,
+)
 from .ml.trees import CARTLearner
 
-WORKLOAD_CHOICES = ["covar", "linreg", "trees", "rt_node", "mi", "cube"]
+WORKLOAD_CHOICES = [
+    "covar",
+    "linreg",
+    "trees",
+    "rt_node",
+    "kmeans",
+    "polyreg",
+    "mi",
+    "mutual_information",
+    "chow_liu",
+    "cube",
+    "datacube",
+]
+
+
+class WorkloadUnavailable(SystemExit):
+    """A workload's optional dependency is missing.
+
+    SystemExit so a direct CLI invocation exits with the message, while
+    ``build_service`` catches it to skip registration and keep serving
+    the rest."""
 
 
 def _regression_label(dataset) -> str:
@@ -84,9 +109,46 @@ def _build_workload(dataset, engine, workload: str):
             "regression",
         )
         return learner.node_batch([])
-    if workload == "mi":
+    if workload == "kmeans":
+        # one Lloyd iteration as a servable batch: per-cluster count /
+        # sum / sum-of-squares aggregates with the (seeded) centroid
+        # assignment baked into dynamic UDFs — exactly the batch each
+        # kmeans() iteration issues.  The UDFs make it uncacheable, so
+        # it also exercises the cache-bypass path under serving.
+        from .ml.kmeans import _initial_centroids, _iteration_batch
+
+        features = [
+            f for f in dataset.continuous_features if f != dataset.label
+        ][:3]
+        centroids = _initial_centroids(
+            engine, features, 3, np.random.default_rng(0)
+        )
+        return _iteration_batch(features, centroids)
+    if workload == "polyreg":
+        # degree-2 moment batch (eq. 5) over a trimmed feature set —
+        # the full set squares the aggregate count, which is a batch
+        # benchmark, not a serving workload
+        label = _regression_label(dataset)
+        continuous = [
+            f for f in dataset.continuous_features if f != label
+        ][:4]
+        return PolynomialCovarBatch(
+            continuous, dataset.categorical_features[:2], label, degree=2
+        ).batch
+    if workload in ("mi", "mutual_information"):
         return build_mi_batch(dataset.discrete_attrs)
-    if workload == "cube":
+    if workload == "chow_liu":
+        # the served aggregates are the pairwise-MI batch chow_liu_tree
+        # consumes; tree assembly itself needs networkx, so gate on it
+        # here rather than failing at post-processing time
+        try:
+            from .ml.chow_liu import chow_liu_tree  # noqa: F401
+        except ImportError as exc:
+            raise WorkloadUnavailable(
+                f"workload 'chow_liu' needs networkx ({exc})"
+            ) from None
+        return build_mi_batch(dataset.discrete_attrs)
+    if workload in ("cube", "datacube"):
         return build_cube_batch(
             dataset.cube_dimensions, dataset.cube_measures
         )
@@ -323,9 +385,19 @@ def _run_incremental(args, dataset, batch) -> int:
     return 0
 
 
-#: workloads the service registers for ``serve`` (rt_node is the same
-#: batch as trees; it stays a CLI-only alias)
-SERVE_WORKLOADS = ("covar", "linreg", "trees", "mi", "cube")
+#: workloads the service registers for ``serve`` — the full ML set
+#: (rt_node is the same batch as trees and mi/cube are short aliases
+#: of mutual_information/datacube; they stay CLI-only)
+SERVE_WORKLOADS = (
+    "covar",
+    "linreg",
+    "trees",
+    "kmeans",
+    "polyreg",
+    "chow_liu",
+    "mutual_information",
+    "datacube",
+)
 
 
 def build_service(args, dataset) -> AnalyticsService:
@@ -370,9 +442,12 @@ def build_service(args, dataset) -> AnalyticsService:
         sort_inputs=False,
     )
     for name in SERVE_WORKLOADS:
-        service.register_workload(
-            args.dataset, name, _build_workload(dataset, planner, name)
-        )
+        try:
+            batch = _build_workload(dataset, planner, name)
+        except WorkloadUnavailable as exc:
+            print(f"skipping {exc}")
+            continue
+        service.register_workload(args.dataset, name, batch)
     # plan + compile every workload (and the full fused union) before
     # accepting traffic, so no request pays codegen inline
     service.prepare(args.dataset)

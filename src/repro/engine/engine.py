@@ -48,7 +48,7 @@ from .plan import GroupPlan, build_group_plan
 from .pushdown import DecomposedBatch, Decomposer
 from .roots import assign_roots
 from .stats import PlanStatistics, compute_statistics
-from .viewcache.cache import CacheRunReport, LeafRecipe, ViewCache
+from .viewcache.cache import CacheRunReport, PatchRecipe, ViewCache
 from .viewcache.signature import (
     ViewSignature,
     dyn_binding_key,
@@ -411,7 +411,7 @@ class LMFAO:
         report: Optional[CacheRunReport] = None
         sigs: Dict[int, ViewSignature] = {}
         preloaded: Dict[int, ViewData] = {}
-        recipes: Dict[int, LeafRecipe] = {}
+        recipes: Dict[int, PatchRecipe] = {}
         skip: set = set()
         if cache is not None:
             sigs = self.view_signatures_for(plan, dyn, database=db)
@@ -434,25 +434,34 @@ class LMFAO:
                     for vid in group_plan.group.view_ids
                 ):
                     skip.add(group_plan.group.id)
-                elif not group_plan.input_view_ids:
-                    # leaf groups depend on one relation only; remember
-                    # how to delta-patch their views after updates
-                    for vid in group_plan.group.view_ids:
-                        sig = sigs[vid]
-                        if sig.cacheable and sig.leaf_structure is not None:
-                            recipes[vid] = LeafRecipe(
-                                plan=group_plan,
-                                view_id=vid,
-                                dyn=tuple(dyn),
-                                leaf_structure=sig.leaf_structure,
-                            )
+                    continue
+                # remember how to repair this group's views after
+                # updates: leaf groups re-run over delta partitions,
+                # interior groups re-run over their node relation with
+                # the re-keyed child views (a cacheable view's inputs
+                # are all cacheable, so every input has a digest)
+                for vid in group_plan.group.view_ids:
+                    sig = sigs[vid]
+                    if sig.cacheable and sig.structure is not None:
+                        recipes[vid] = PatchRecipe(
+                            plan=group_plan,
+                            view_id=vid,
+                            dyn=tuple(dyn),
+                            structure=sig.structure,
+                            input_digests=tuple(
+                                (ivid, sigs[ivid].digest)
+                                for ivid in group_plan.input_view_ids
+                            ),
+                        )
             report.skipped_groups = len(skip)
 
         def handoff(vid: int, data: ViewData) -> None:
             # an interior view just lost its last in-batch consumer:
             # admit it to the cross-run cache instead of dropping it
             if report is not None and report.events.get(vid) == "miss":
-                cache.put(sigs[vid], data, recipe=recipes.get(vid))
+                cache.put(
+                    sigs[vid], data, recipe=recipes.get(vid), database=db
+                )
 
         store = ViewStore(
             consumers=plan.view_consumers(),
@@ -490,7 +499,12 @@ class LMFAO:
             # store retains) that were cache misses are admitted too
             for vid, data in store.items():
                 if report.events.get(vid) == "miss":
-                    cache.put(sigs[vid], data, recipe=recipes.get(vid))
+                    cache.put(
+                        sigs[vid],
+                        data,
+                        recipe=recipes.get(vid),
+                        database=db,
+                    )
         return store, report
 
     def _execute(self, plan: EnginePlan, dyn: Sequence) -> ViewStore:

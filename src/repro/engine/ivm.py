@@ -25,15 +25,24 @@ with ``track_support=True`` carry a hidden context-row count per group
 key, and a key is retired exactly when its support cancels to zero — so
 maintained views match a from-scratch run key-for-key.
 
-**Fallback semantics.**  The delta of a view is a pure merge only while
-no *other* view consumes it (changed aggregate columns would otherwise
-have to be re-joined upward, where products of changed views break
-additivity).  The engine therefore plans every batch rooted at a single
-designated relation — by default the largest one, where updates land in
-practice — which makes that node's view groups sinks.  A delta against
-the root relation is maintained incrementally; a delta against any other
-relation invalidates views referenced by the rest of the DAG and falls
-back to full recomputation of the affected batch.
+**Propagation semantics.**  The delta of a view is a pure merge only
+while no *other* view consumes it (changed aggregate columns would
+otherwise have to be re-joined upward, where products of changed views
+break additivity).  The engine therefore plans every batch rooted at a
+single designated relation — by default the largest one, where updates
+land in practice — which makes that node's view groups sinks.  A delta
+against the root relation is maintained by pure merging
+(``"incremental"``).  A delta against any *other* relation is
+*propagated* bottom-up through the DAG (``"propagate"``): the changed
+relation's own groups are delta-merged (or, for retractions on views
+without support counts, re-run over the full updated relation), and
+every group consuming a changed view is re-run over its node relation
+with the updated inputs — the affected *cone* of the DAG, never the
+whole batch.  Groups whose inputs are untouched keep their
+materializations.  Full recomputation (``"recompute"``) remains only
+as a guarded fallback (e.g. a delta on a relation the plan has no view
+groups for), counted in :meth:`IncrementalEngine.stats` as a
+*fallback* with its reason rather than happening silently.
 """
 
 from __future__ import annotations
@@ -56,8 +65,10 @@ class BatchMaintenance:
     """How one cached batch was brought up to date by ``apply_delta``."""
 
     queries: Tuple[str, ...]
-    mode: str  # "incremental" or "recompute"
+    mode: str  # "incremental", "propagate", or "recompute"
     seconds: float
+    #: why a full recompute happened, when it did
+    reason: Optional[str] = None
 
 
 @dataclass
@@ -67,10 +78,19 @@ class DeltaReport:
     relations: Tuple[str, ...]
     n_changes: int
     batches: List[BatchMaintenance] = field(default_factory=list)
+    #: cache entries delta-patched (re-keyed in place) / evicted by
+    #: the attached view cache, summed over the applied deltas
+    views_patched: int = 0
+    views_evicted: int = 0
 
     @property
     def all_incremental(self) -> bool:
         return all(b.mode == "incremental" for b in self.batches)
+
+    @property
+    def all_maintained(self) -> bool:
+        """True when no batch fell back to full recomputation."""
+        return all(b.mode != "recompute" for b in self.batches)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         modes = ", ".join(f"{b.mode}:{b.seconds:.4f}s" for b in self.batches)
@@ -78,6 +98,32 @@ class DeltaReport:
             f"DeltaReport({self.n_changes} changes on "
             f"{list(self.relations)}; [{modes}])"
         )
+
+
+@dataclass
+class MaintenanceStats:
+    """Lifetime counters of one :class:`IncrementalEngine` (``/stats``)."""
+
+    deltas: int = 0  # non-empty DeltaBatches applied
+    incremental: int = 0  # batch maintenances by pure sink merging
+    propagated: int = 0  # batch maintenances through interior groups
+    fallbacks: int = 0  # full-batch recomputations
+    last_fallback_reason: Optional[str] = None
+
+    def as_dict(self) -> Dict:
+        return {
+            "deltas": self.deltas,
+            "incremental": self.incremental,
+            "propagated": self.propagated,
+            "fallbacks": self.fallbacks,
+            "last_fallback_reason": self.last_fallback_reason,
+        }
+
+
+class PropagationError(RuntimeError):
+    """Raised internally when a delta cannot be propagated through the
+    view DAG (the caller falls back to full recomputation and counts
+    it)."""
 
 
 @dataclass
@@ -147,6 +193,7 @@ class IncrementalEngine:
         self.root = root
         self.view_cache = view_cache
         self._cache: Dict[tuple, _CachedBatch] = {}
+        self._stats = MaintenanceStats()
 
     # -- catalog ------------------------------------------------------------
 
@@ -158,6 +205,13 @@ class IncrementalEngine:
     @property
     def n_cached_batches(self) -> int:
         return len(self._cache)
+
+    def stats(self) -> Dict:
+        """Lifetime maintenance counters (the ``ivm`` section of
+        ``GET /stats``): applied deltas, how batches were maintained,
+        and — crucially — how often propagation could *not* apply and
+        fell back to full recomputation, with the last reason."""
+        return self._stats.as_dict()
 
     # -- evaluation ----------------------------------------------------------
 
@@ -201,8 +255,10 @@ class IncrementalEngine:
 
         Deltas are applied to the database sequentially (delete indices
         of later deltas see the row order left by earlier ones).  Cached
-        batches whose view DAG admits a pure merge are patched in place;
-        the rest are fully recomputed.
+        batches are maintained in place: sink deltas by pure merging,
+        deltas anywhere else by propagating the change through the
+        affected cone of the view DAG.  Full recomputation remains only
+        as a guarded fallback, counted in :meth:`stats`.
         """
         applied: List[AppliedDelta] = []
         database = self.engine.database
@@ -225,25 +281,38 @@ class IncrementalEngine:
         if not applied:
             return report
         self.engine.database = database
+        self._stats.deltas += len(applied)
         if self.view_cache is not None:
-            # reconcile the cross-session cache first, so the
-            # recompute fallback below can already hit patched leaves
+            # reconcile the cross-session cache first, so any engine
+            # re-execution below can already hit repaired entries
             for step in applied:
-                self.view_cache.on_delta(step)
+                for status in self.view_cache.on_delta(step).values():
+                    if status == "patched":
+                        report.views_patched += 1
+                    else:
+                        report.views_evicted += 1
         for entry in self._cache.values():
             t0 = time.perf_counter()
-            if self._mergeable(entry, report.relations):
-                for step in applied:
-                    self._merge_delta(entry, step)
-                mode = "incremental"
-            else:
+            reason: Optional[str] = None
+            try:
+                mode = self._propagate(entry, applied)
+            except Exception as exc:  # genuine can't-propagate cases
                 entry.view_data = self._materialize(entry.plan, entry.dyn)
                 mode = "recompute"
+                reason = f"{type(exc).__name__}: {exc}"
+            if mode == "incremental":
+                self._stats.incremental += 1
+            elif mode == "propagate":
+                self._stats.propagated += 1
+            else:
+                self._stats.fallbacks += 1
+                self._stats.last_fallback_reason = reason
             report.batches.append(
                 BatchMaintenance(
                     queries=tuple(q.name for q in entry.batch),
                     mode=mode,
                     seconds=time.perf_counter() - t0,
+                    reason=reason,
                 )
             )
         return report
@@ -309,37 +378,99 @@ class IncrementalEngine:
             if all(g.id not in consumed for g in groups)
         }
 
-    def _mergeable(
-        self, entry: _CachedBatch, relations: Sequence[str]
-    ) -> bool:
-        """True when every changed relation's groups are DAG sinks."""
-        return set(relations) <= self._sink_nodes(entry.plan)
+    def _propagate(
+        self, entry: _CachedBatch, applied: Sequence[AppliedDelta]
+    ) -> str:
+        """Maintain one cached batch through a sequence of applied deltas.
 
-    def _merge_delta(self, entry: _CachedBatch, step: AppliedDelta) -> None:
-        """Patch one cached batch's views with one applied delta."""
+        Each delta walks the batch's view groups in topological order,
+        tracking the set of views whose data changed.  A group *at* the
+        updated relation with untouched inputs is delta-merged; a group
+        consuming a changed view — or one whose delta cannot be merged
+        exactly — is re-run over its node relation (the version this
+        delta produced) with the current inputs.  Groups outside the
+        affected cone keep their materializations untouched.
+
+        Returns ``"incremental"`` when every delta was absorbed by pure
+        sink merges, ``"propagate"`` when interior groups re-ran.
+        """
         plan = entry.plan
         store = entry.view_data
-        for group in plan.grouped.groups:
-            if group.node != step.relation:
-                continue
-            group_plan = plan.group_plans[group.id]
-            incoming = store.snapshot(group_plan.input_view_ids)
-            parts: List[Dict[int, ViewData]] = [
-                store.snapshot(group.view_ids)
-            ]
-            if step.inserted is not None and step.inserted.n_rows:
-                parts.append(
-                    self.engine.run_group(
-                        plan, group.id, step.inserted, incoming, entry.dyn
-                    )
+        mode = "incremental"
+        for step in applied:
+            changed: Set[int] = set()
+            seen_relation = False
+            for group in plan.grouped.groups:
+                group_plan = plan.group_plans[group.id]
+                node_changed = group.node == step.relation
+                seen_relation = seen_relation or node_changed
+                inputs_changed = any(
+                    vid in changed for vid in group_plan.input_view_ids
                 )
-            if step.deleted is not None and step.deleted.n_rows:
-                removed = self.engine.run_group(
-                    plan, group.id, step.deleted, incoming, entry.dyn
+                if not node_changed and not inputs_changed:
+                    continue
+                if (
+                    node_changed
+                    and not inputs_changed
+                    and self._group_merge(entry, group, group_plan, step)
+                ):
+                    changed.update(group.view_ids)
+                    continue
+                incoming = store.snapshot(group_plan.input_view_ids)
+                produced = self.engine.run_group(
+                    plan,
+                    group.id,
+                    step.database.relation(group.node),
+                    incoming,
+                    entry.dyn,
                 )
-                parts.append(
-                    {vid: vd.negated() for vid, vd in removed.items()}
+                store.put_group(produced)
+                changed.update(group.view_ids)
+                mode = "propagate"
+            if not seen_relation:
+                # the plan has no view groups at this relation, yet it
+                # still joins into views computed elsewhere — there is
+                # no group whose re-execution would absorb the change
+                raise PropagationError(
+                    f"no view groups at relation {step.relation!r}"
                 )
-            if len(parts) == 1:
-                continue
+        return mode
+
+    def _group_merge(
+        self, entry: _CachedBatch, group, group_plan, step: AppliedDelta
+    ) -> bool:
+        """Try the pure delta-partition merge for one group.
+
+        Returns False when the merge cannot be exact — a retraction on
+        views without support counts would leave dead group keys — in
+        which case the caller re-runs the group over the full updated
+        relation instead.
+        """
+        plan = entry.plan
+        store = entry.view_data
+        current = store.snapshot(group.view_ids)
+        has_deletes = step.deleted is not None and step.deleted.n_rows > 0
+        # scalar views (no group-by) subtract exactly without support;
+        # keyed views need support counts to retire dead keys
+        if has_deletes and any(
+            vd.support is None and vd.group_by for vd in current.values()
+        ):
+            return False
+        incoming = store.snapshot(group_plan.input_view_ids)
+        parts: List[Dict[int, ViewData]] = [current]
+        if step.inserted is not None and step.inserted.n_rows:
+            parts.append(
+                self.engine.run_group(
+                    plan, group.id, step.inserted, incoming, entry.dyn
+                )
+            )
+        if has_deletes:
+            removed = self.engine.run_group(
+                plan, group.id, step.deleted, incoming, entry.dyn
+            )
+            parts.append(
+                {vid: vd.negated() for vid, vd in removed.items()}
+            )
+        if len(parts) > 1:
             store.merge_parts(parts, retire_dead=True)
+        return True

@@ -7,8 +7,9 @@ Three pieces, layered on the executor subsystem:
   independently planned batches agree on structurally equal views;
 * :mod:`~repro.engine.viewcache.cache` — :class:`ViewCache`, a
   byte-budget LRU of materialized views keyed by content digest, with
-  hit/miss/eviction stats, pinning, and delta-driven invalidation /
-  leaf patching;
+  hit/miss/eviction stats, pinning, and delta-driven repair: affected
+  entries are patched bottom-up and re-keyed, with eviction only as
+  the fallback;
 * :mod:`~repro.engine.viewcache.fusion` — :class:`WorkloadSession`,
   which fuses several query batches into one deduplicated DAG, executes
   shared views once, and fans results back out per workload.
@@ -19,6 +20,7 @@ from .cache import (
     CacheRunReport,
     CacheStats,
     LeafRecipe,
+    PatchRecipe,
     ViewCache,
     view_nbytes,
 )
@@ -35,6 +37,7 @@ __all__ = [
     "DEFAULT_BUDGET_BYTES",
     "FusionReport",
     "LeafRecipe",
+    "PatchRecipe",
     "SessionResult",
     "ViewCache",
     "ViewSignature",

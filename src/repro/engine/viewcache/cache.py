@@ -10,19 +10,34 @@ construction* the same data the engine would recompute.
 Consistency under updates is event-driven: the incremental-maintenance
 layer forwards every applied :class:`~repro.data.database.DeltaBatch`
 to :meth:`ViewCache.on_delta`, which touches exactly the entries whose
-relation footprint contains the updated relation —
+relation footprint contains the updated relation, bottom-up through
+the reference DAG —
 
-* *leaf* entries (views with no incoming views) are **delta-patched**:
-  the cached group plan is re-evaluated over only the delta partition
-  and merged through :meth:`ViewStore.merge_parts` (retractions as
-  negated payload), then re-keyed under the updated relation's
-  fingerprint so the next run's signatures find them;
-* all other affected entries are **evicted** (their digests hang off
-  child digests recursively; patching them would be re-execution by
-  another name).
+* entries *at* the updated relation are **delta-patched**: the cached
+  group plan is re-evaluated over only the delta partition and merged
+  through :meth:`ViewStore.merge_parts` (retractions as negated
+  payload; a retraction on a view without support counts falls back to
+  re-running the group over the full updated relation);
+* *interior* entries above them are **telescoped**: their group plan
+  is re-run over its (unchanged) node relation with the already
+  re-keyed child views resolved from the cache;
+* entries that cannot be repaired — no recipe (revived from disk),
+  stale epoch, a child view missing from both cache tiers — are
+  **evicted**.
 
-Entries whose footprint does not contain the updated relation keep
-their digests — their content addresses still match — and survive.
+Every repaired entry is re-keyed under the digest the next run's
+signatures will compute (updated relation fingerprint at the changed
+node, substituted child digests above it), so patches replace
+evictions throughout the DAG.  Entries whose footprint does not
+contain the updated relation keep their digests — their content
+addresses still match — and survive.
+
+Admission is epoch-gated: each delta advances a per-relation
+fingerprint watermark, and a :meth:`ViewCache.put` offered from an
+older database version (a reader pinned to a pre-delta epoch snapshot
+finishing after the commit) is rejected — counted as a
+``stale_reject`` — rather than admitted only to be evicted, unpatchable,
+by the next delta.
 """
 
 from __future__ import annotations
@@ -33,9 +48,15 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ...data.database import AppliedDelta
-from ..interpreter import ViewData, execute_plan, execute_plan_delta
+from ...data.relation import Relation
+from ..interpreter import ViewData, execute_plan
 from ..plan import GroupPlan
-from .signature import ViewSignature, leaf_digest, relation_fingerprint
+from .signature import (
+    ViewSignature,
+    rekey_structure,
+    relation_fingerprint,
+    structure_digest,
+)
 
 #: default cache budget: 64 MiB of view payload
 DEFAULT_BUDGET_BYTES = 64 << 20
@@ -51,21 +72,27 @@ def view_nbytes(data: ViewData) -> int:
 
 
 @dataclass
-class LeafRecipe:
-    """How to delta-patch a cached leaf view.
+class PatchRecipe:
+    """How to repair a cached view in place after a delta.
 
-    ``plan`` is the multi-output group plan that produced the view (it
-    has no input views, so it can be re-run over any partition of its
-    node relation); ``dyn`` is the dynamic-function table the plan was
-    executed with.  ``leaf_structure`` is the structural half of the
-    view's digest, used to re-key the patched entry against the updated
-    relation fingerprint.
+    ``plan`` is the multi-output group plan that produced the view;
+    ``dyn`` is the dynamic-function table it was executed with.
+    ``structure`` is the structural half of the view's digest (child
+    views embedded by digest), used to detect stale entries and to
+    re-key the repaired entry; ``input_digests`` maps the plan's input
+    view ids to the digests their data was read under, so re-execution
+    can resolve the same (or re-keyed) children from the cache.
     """
 
     plan: GroupPlan
     view_id: int
     dyn: tuple
-    leaf_structure: tuple
+    structure: tuple
+    input_digests: Tuple[Tuple[int, str], ...] = ()
+
+
+#: back-compat alias (recipes once existed only for leaf groups)
+LeafRecipe = PatchRecipe
 
 
 @dataclass
@@ -77,8 +104,9 @@ class CacheStats:
     puts: int = 0
     evictions: int = 0  # LRU byte-budget evictions
     invalidations: int = 0  # delta-driven evictions
-    patches: int = 0  # delta-patched (and re-keyed) leaf entries
+    patches: int = 0  # delta-repaired (and re-keyed) entries
     rejects: int = 0  # entries larger than the whole budget
+    stale_rejects: int = 0  # admissions from a pre-delta database version
     warm_hits: int = 0  # hits served from the persistent second tier
     spills: int = 0  # entries written through to the second tier
 
@@ -91,6 +119,7 @@ class CacheStats:
             "invalidations": self.invalidations,
             "patches": self.patches,
             "rejects": self.rejects,
+            "stale_rejects": self.stale_rejects,
             "warm_hits": self.warm_hits,
             "spills": self.spills,
         }
@@ -101,7 +130,7 @@ class _Entry:
     sig: ViewSignature
     data: ViewData
     nbytes: int
-    recipe: Optional[LeafRecipe] = None
+    recipe: Optional[PatchRecipe] = None
     pinned: bool = False
 
 
@@ -158,7 +187,7 @@ class ViewCache:
     are written through on :meth:`put`, and an in-memory miss probes
     the store before reporting a miss: a disk hit is admitted back into
     memory and counted as a *warm hit*.  Entries revived from disk
-    carry no leaf recipe, so a later delta evicts rather than patches
+    carry no patch recipe, so a later delta evicts rather than repairs
     them — always safe, merely less incremental.
     """
 
@@ -175,6 +204,11 @@ class ViewCache:
         self._lock = threading.Lock()
         self._stats = CacheStats()
         self._store = store
+        # relation name -> fingerprint of the latest delta'd database;
+        # admissions from runs pinned to older versions are rejected
+        # (see :meth:`put`).  Empty until the first delta: before any
+        # update there is only one database version to admit from.
+        self._current_fp: Dict[str, str] = {}
 
     # -- introspection -----------------------------------------------------
 
@@ -257,7 +291,9 @@ class ViewCache:
         self,
         sig: ViewSignature,
         data: ViewData,
-        recipe: Optional[LeafRecipe] = None,
+        recipe: Optional[PatchRecipe] = None,
+        *,
+        database=None,
     ) -> bool:
         """Admit one materialized view; returns whether it was cached.
 
@@ -267,8 +303,20 @@ class ViewCache:
         cacheable entries are also written through to disk — including
         budget-rejected ones, since the disk tier is typically larger
         than memory and a spilled entry still serves warm restarts.
+
+        ``database`` (optional) names the database version the view was
+        computed from.  When given, the admission is rejected — counted
+        as a ``stale_reject`` — if any relation in the view's footprint
+        has since been delta'd past that version: a reader pinned to an
+        older epoch must not publish entries the next delta could only
+        evict.  Callers that guarantee currency themselves (the repair
+        path) omit it.
         """
         if not sig.cacheable:
+            return False
+        if database is not None and self._stale_admission(sig, database):
+            with self._lock:
+                self._stats.stale_rejects += 1
             return False
         admitted = self._admit(sig, data, recipe=recipe)
         if self._store is not None and self._store.save(sig, data):
@@ -276,11 +324,35 @@ class ViewCache:
                 self._stats.spills += 1
         return admitted
 
+    def _stale_admission(self, sig: ViewSignature, database) -> bool:
+        """Whether an offered entry predates the last applied delta.
+
+        Exact, not heuristic: the entry is stale iff some relation in
+        its footprint carries a different fingerprint in the offering
+        run's database than in the latest delta'd database.  Interior
+        views are covered through their footprint — a stale child cone
+        stales the parent even when the parent's own node relation is
+        unchanged.  Fingerprints are memoized per relation object, so
+        the common all-current case costs dictionary lookups only.
+        """
+        with self._lock:
+            if not self._current_fp:
+                return False
+            current = {
+                name: self._current_fp[name]
+                for name in sig.relations
+                if name in self._current_fp
+            }
+        for name, fingerprint in current.items():
+            if relation_fingerprint(database.relation(name)) != fingerprint:
+                return True
+        return False
+
     def _admit(
         self,
         sig: ViewSignature,
         data: ViewData,
-        recipe: Optional[LeafRecipe] = None,
+        recipe: Optional[PatchRecipe] = None,
     ) -> bool:
         """Insert into the in-memory tier only (no write-through)."""
         nbytes = view_nbytes(data)
@@ -362,6 +434,16 @@ class ViewCache:
     def on_delta(self, applied: AppliedDelta) -> Dict[str, str]:
         """Reconcile the cache with one applied delta.
 
+        Affected entries (footprint contains the updated relation) are
+        repaired bottom-up through the reference DAG: entries at the
+        updated relation are delta-patched (or recomputed over the full
+        updated relation when a retraction cannot be retired exactly),
+        interior entries above them re-run their group plan with the
+        already re-keyed children, and every repaired entry is re-keyed
+        under its new content digest so the next run's signatures find
+        it.  Entries that cannot be repaired — no recipe, stale epoch,
+        a child view missing from the cache — are evicted.
+
         Returns {old digest: "patched" | "evicted"} for the affected
         entries; untouched entries (footprint disjoint from the updated
         relation) do not appear.
@@ -378,77 +460,206 @@ class ViewCache:
             if applied.previous is None
             else relation_fingerprint(applied.previous.relation(relation))
         )
+        # advance the admission watermark FIRST: from here on, puts by
+        # readers still pinned to the pre-delta database are rejected
+        # (stale_rejects) instead of entering only to be evicted by the
+        # next delta — see :meth:`put`
+        fingerprints = {
+            rel.name: relation_fingerprint(rel) for rel in applied.database
+        }
         with self._lock:
-            affected = [
-                (digest, entry)
+            self._current_fp.update(fingerprints)
+            pending: Dict[str, _Entry] = {
+                digest: entry
                 for digest, entry in self._entries.items()
                 if relation in entry.sig.relations
-            ]
+            }
         outcome: Dict[str, str] = {}
-        for digest, entry in affected:
-            current = (
-                old_fp is not None
-                and entry.recipe is not None
-                and digest
-                == leaf_digest(entry.recipe.leaf_structure, old_fp)
-            )
-            patched = self._patch(entry, applied) if current else None
-            with self._lock:
-                victim = self._entries.pop(digest, None)
-                if victim is not None:
-                    self._bytes -= victim.nbytes
-            if patched is None:
-                with self._lock:
-                    self._stats.invalidations += 1
-                outcome[digest] = "evicted"
-                continue
-            new_sig = ViewSignature(
-                digest=leaf_digest(entry.recipe.leaf_structure, new_fp),
-                relations=entry.sig.relations,
-                cacheable=True,
-                leaf_structure=entry.recipe.leaf_structure,
-            )
-            admitted = self.put(new_sig, patched, recipe=entry.recipe)
-            if not admitted:  # e.g. the patched view outgrew the budget
-                with self._lock:
-                    self._stats.invalidations += 1
-                outcome[digest] = "evicted"
-                continue
-            with self._lock:
-                self._stats.patches += 1
-            if victim is not None and victim.pinned:
-                self.pin(new_sig.digest)
-            outcome[digest] = "patched"
+        rekey: Dict[str, str] = {}  # old digest -> repaired digest
+        executed: Dict[tuple, Dict[int, ViewData]] = {}  # group-run memo
+        progress = True
+        while pending and progress:
+            progress = False
+            for digest in list(pending):
+                status = self._repair(
+                    digest,
+                    pending[digest],
+                    applied,
+                    old_fp,
+                    new_fp,
+                    rekey,
+                    pending,
+                    executed,
+                )
+                if status is None:  # a child is still pending: defer
+                    continue
+                del pending[digest]
+                progress = True
+                outcome[digest] = status
+        for digest in pending:  # reference cycles cannot happen; be safe
+            self._evict_entry(digest)
+            outcome[digest] = "evicted"
         return outcome
 
-    def _patch(
-        self, entry: _Entry, applied: AppliedDelta
-    ) -> Optional[ViewData]:
-        """Delta-patched data for a leaf entry, or None (must evict).
+    def _evict_entry(self, digest: str, *, count: bool = True) -> bool:
+        """Drop one entry by digest; returns whether it was pinned."""
+        with self._lock:
+            victim = self._entries.pop(digest, None)
+            if victim is None:
+                return False
+            self._bytes -= victim.nbytes
+            if count:
+                self._stats.invalidations += 1
+            return victim.pinned
 
-        Patching a retraction without per-key support counts would leave
-        zero-valued group keys a from-scratch run never emits, so such
-        entries are evicted instead.
+    def _resolve_input(self, digest: str) -> Optional[ViewData]:
+        """A repair input by digest: in-memory first, then the disk tier."""
+        data = self.peek(digest)
+        if data is None and self._store is not None:
+            loaded = self._store.load(digest)
+            if loaded is not None:
+                data = loaded[1]
+        return data
+
+    def _repair(
+        self,
+        digest: str,
+        entry: _Entry,
+        applied: AppliedDelta,
+        old_fp: Optional[str],
+        new_fp: str,
+        rekey: Dict[str, str],
+        pending: Dict[str, _Entry],
+        executed: Dict[tuple, Dict[int, ViewData]],
+    ) -> Optional[str]:
+        """Repair one affected entry in place.
+
+        Returns ``"patched"`` or ``"evicted"``, or None when the entry
+        must wait for a still-pending child to be re-keyed first.
         """
         recipe = entry.recipe
-        if recipe is None:
-            return None
+        if recipe is None or recipe.structure is None:
+            self._evict_entry(digest)
+            return "evicted"
+        source = recipe.structure[0]
+        node_changed = source == applied.relation
+        if node_changed and old_fp is None:
+            self._evict_entry(digest)
+            return "evicted"
+        node_old_fp = (
+            old_fp
+            if node_changed
+            else relation_fingerprint(applied.database.relation(source))
+        )
+        if digest != structure_digest(recipe.structure, node_old_fp):
+            # stale: admitted against an older database version; its
+            # children resolve elsewhere (or nowhere), and repairing it
+            # would publish data under an address no current run asks
+            # for.  Content addressing makes eviction always correct.
+            self._evict_entry(digest)
+            return "evicted"
+        incoming: Dict[int, ViewData] = {}
+        new_inputs: List[Tuple[int, str]] = []
+        inputs_changed = False
+        for vid, child in recipe.input_digests:
+            if child in pending:
+                return None  # repair children first
+            current = rekey.get(child)
+            if current is None:
+                current = child
+            else:
+                inputs_changed = True
+            data = self._resolve_input(current)
+            if data is None:  # child evicted (delta or LRU): give up
+                self._evict_entry(digest)
+                return "evicted"
+            incoming[vid] = data
+            new_inputs.append((vid, current))
+        input_key = tuple(new_inputs)
+        data = None
+        if node_changed and not inputs_changed:
+            data = self._delta_merge(
+                entry, recipe, applied, incoming, executed, input_key
+            )
+        if data is None:
+            # telescope: re-run the whole group plan over the full
+            # (updated) node relation with the re-keyed child views
+            data = self._run_plan(
+                recipe,
+                applied.database.relation(source),
+                incoming,
+                executed,
+                "full",
+                input_key,
+            )[recipe.view_id]
+        new_structure = rekey_structure(recipe.structure, rekey)
+        new_digest = structure_digest(
+            new_structure, new_fp if node_changed else node_old_fp
+        )
+        new_sig = ViewSignature(
+            digest=new_digest,
+            relations=entry.sig.relations,
+            cacheable=True,
+            structure=new_structure,
+        )
+        new_recipe = PatchRecipe(
+            plan=recipe.plan,
+            view_id=recipe.view_id,
+            dyn=recipe.dyn,
+            structure=new_structure,
+            input_digests=input_key,
+        )
+        pinned = self._evict_entry(digest, count=False)
+        if not self.put(new_sig, data, recipe=new_recipe):
+            # e.g. the repaired view outgrew the budget
+            with self._lock:
+                self._stats.invalidations += 1
+            return "evicted"
+        with self._lock:
+            self._stats.patches += 1
+        if pinned:
+            self.pin(new_digest)
+        rekey[digest] = new_digest
+        return "patched"
+
+    def _delta_merge(
+        self,
+        entry: _Entry,
+        recipe: PatchRecipe,
+        applied: AppliedDelta,
+        incoming: Dict[int, ViewData],
+        executed: Dict[tuple, Dict[int, ViewData]],
+        input_key: tuple,
+    ) -> Optional[ViewData]:
+        """Delta-partition merge for an entry at the updated relation.
+
+        Returns None when the merge cannot be exact — a retraction on a
+        view without per-key support counts would leave zero-valued
+        group keys a from-scratch run never emits — so the caller falls
+        back to re-running the group over the full updated relation.
+        """
         has_deletes = (
             applied.deleted is not None and applied.deleted.n_rows > 0
         )
-        if has_deletes and entry.data.support is None:
+        # scalar views (no group-by) subtract exactly without support;
+        # keyed views need support counts to retire dead keys
+        if has_deletes and entry.data.support is None and entry.data.group_by:
             return None
         parts: List[Dict[int, ViewData]] = [{recipe.view_id: entry.data}]
         if applied.inserted is not None and applied.inserted.n_rows:
-            produced = execute_plan(
-                recipe.plan, applied.inserted, {}, recipe.dyn
+            produced = self._run_plan(
+                recipe, applied.inserted, incoming, executed,
+                "insert", input_key,
             )
             parts.append({recipe.view_id: produced[recipe.view_id]})
         if has_deletes:
-            produced = execute_plan_delta(
-                recipe.plan, applied.deleted, {}, recipe.dyn, sign=-1
+            produced = self._run_plan(
+                recipe, applied.deleted, incoming, executed,
+                "delete", input_key,
             )
-            parts.append({recipe.view_id: produced[recipe.view_id]})
+            parts.append(
+                {recipe.view_id: produced[recipe.view_id].negated()}
+            )
         if len(parts) == 1:  # empty delta: data unchanged
             return entry.data
         # reuse the executor's merge machinery (ViewStore.merge_parts):
@@ -460,6 +671,35 @@ class ViewCache:
             parts, retire_dead=entry.data.support is not None
         )
         return merged[recipe.view_id]
+
+    def _run_plan(
+        self,
+        recipe: PatchRecipe,
+        relation: Relation,
+        incoming: Dict[int, ViewData],
+        executed: Dict[tuple, Dict[int, ViewData]],
+        kind: str,
+        input_key: tuple,
+    ) -> Dict[int, ViewData]:
+        """Run a recipe's group plan once per reconciliation pass.
+
+        Sibling views of one multi-output group share a plan object and
+        dyn binding, so the memo collapses their repairs into a single
+        execution per delta.
+        """
+        key = (
+            id(recipe.plan),
+            tuple(id(f) for f in recipe.dyn),
+            kind,
+            input_key,
+        )
+        produced = executed.get(key)
+        if produced is None:
+            produced = execute_plan(
+                recipe.plan, relation, incoming, recipe.dyn
+            )
+            executed[key] = produced
+        return produced
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         with self._lock:

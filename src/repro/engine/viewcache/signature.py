@@ -115,16 +115,17 @@ class ViewSignature:
     ``digest`` is the cache key; ``relations`` names every base relation
     the view's data depends on (the invalidation footprint);
     ``cacheable`` is False when any factor in the view's subtree has no
-    trustworthy content identity (UDFs).  ``leaf_structure`` is set for
-    views with no incoming views: the structural half of the digest,
-    which lets the cache *re-key* a delta-patched leaf view against the
-    updated relation's fingerprint without replanning.
+    trustworthy content identity (UDFs).  ``structure`` is the
+    structural half of the digest — ``(source, group_by, agg_parts)``
+    with child views embedded by digest — which lets the cache *re-key*
+    a delta-patched view against the updated relation fingerprint (and,
+    for interior views, the re-keyed child digests) without replanning.
     """
 
     digest: str
     relations: frozenset
     cacheable: bool
-    leaf_structure: Optional[tuple] = None
+    structure: Optional[tuple] = None
 
 
 def view_digest(
@@ -133,15 +134,41 @@ def view_digest(
     group_by: Tuple[str, ...],
     agg_parts: tuple,
 ) -> str:
-    """The digest formula, shared with leaf re-keying after deltas."""
+    """The digest formula, shared with re-keying after deltas."""
     payload = repr(("view", source, relation_fp, group_by, agg_parts))
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def leaf_digest(leaf_structure: tuple, relation_fp: str) -> str:
-    """Digest of a leaf view against a (possibly updated) fingerprint."""
-    source, group_by, agg_parts = leaf_structure
+def structure_digest(structure: tuple, relation_fp: str) -> str:
+    """Digest of a view's structure against a node fingerprint."""
+    source, group_by, agg_parts = structure
     return view_digest(source, relation_fp, group_by, agg_parts)
+
+
+#: back-compat alias (the pre-propagation cache only re-keyed leaves)
+leaf_digest = structure_digest
+
+
+def rekey_structure(structure: tuple, rekey: Mapping[str, str]) -> tuple:
+    """Substitute re-keyed child digests into a view structure.
+
+    After a delta patches child views in place, their digests change;
+    a parent's structure embeds them inside its ``agg_parts``, so the
+    parent's new content address is the digest of this substituted
+    structure.  Child references stay sorted by content, matching what
+    :func:`view_signatures` would compute from scratch.
+    """
+    source, group_by, agg_parts = structure
+    new_parts = []
+    for coefficient, func_sigs, ref_parts in agg_parts:
+        new_refs = tuple(
+            sorted(
+                (rekey.get(digest, digest), agg_index)
+                for digest, agg_index in ref_parts
+            )
+        )
+        new_parts.append((coefficient, func_sigs, new_refs))
+    return (source, group_by, tuple(new_parts))
 
 
 def view_signatures(
@@ -187,7 +214,6 @@ def view_signatures(
         cacheable = True
         relations = {view.source}
         agg_parts = []
-        has_refs = False
         for spec in view.aggregates:
             func_sigs = []
             for function in spec.functions:
@@ -196,7 +222,6 @@ def view_signatures(
                 func_sigs.append(func_sig)
             ref_parts = []
             for ref in spec.refs:
-                has_refs = True
                 child = signature(ref.view_id)
                 cacheable = cacheable and child.cacheable
                 relations |= child.relations
@@ -221,7 +246,7 @@ def view_signatures(
             digest=digest,
             relations=frozenset(relations),
             cacheable=cacheable,
-            leaf_structure=None if has_refs else structure,
+            structure=structure,
         )
         return memo[view_id]
 

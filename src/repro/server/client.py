@@ -35,12 +35,20 @@ class AnalyticsClient:
     """Blocking JSON client for one service endpoint.
 
     ``retries`` (default 0: fail immediately) bounds how many times a
-    request shed with HTTP 503 is retried.  Each retry honors the
-    server's ``Retry-After`` header — the whole point of admission
-    control is that the server names the backoff — clamped to
-    ``max_retry_after`` seconds (missing/unparsable headers wait 1s).
-    Only 503 retries: other errors are not load-shedding and repeat
-    deterministically.
+    request is retried, across *both* retryable failure kinds sharing
+    the one budget:
+
+    * HTTP 503 (admission-control shedding) — each retry honors the
+      server's ``Retry-After`` header — the whole point of admission
+      control is that the server names the backoff — clamped to
+      ``max_retry_after`` seconds (missing/unparsable headers wait 1s);
+    * transport failures (:class:`ConnectionError` /
+      :class:`urllib.error.URLError`: connection refused/reset, a
+      server mid-restart) — retried after a 1s pause, and re-raised
+      unchanged once the budget is spent.
+
+    Other HTTP errors are not load-shedding and repeat
+    deterministically, so they never retry.
     """
 
     def __init__(
@@ -94,6 +102,15 @@ class AnalyticsClient:
                 raise ClientError(
                     exc.code, message, retry_after=retry_after
                 ) from None
+            # HTTPError subclasses URLError, so this clause must come
+            # second: a real HTTP response is never treated as a
+            # transport failure
+            except (urllib.error.URLError, ConnectionError):
+                if attempts_left > 0:
+                    attempts_left -= 1
+                    time.sleep(min(self.max_retry_after, 1.0))
+                    continue
+                raise
 
     @staticmethod
     def _parse_retry_after(header: Optional[str]) -> Optional[float]:

@@ -12,9 +12,10 @@ Endpoints (all JSON):
   "inserts": {col: [...]}, "delete_indices": [...]}``; commits a new
   epoch and reports the IVM maintenance modes.
 
-Errors map to conventional status codes: unknown dataset/workload/
-relation → 404, malformed requests → 400, admission-control shedding
-→ 503 (with ``Retry-After``).
+Errors map to conventional status codes: unknown dataset/relation →
+404, malformed requests → 400 (an unknown *workload* is malformed — the
+400 body lists the valid names under ``valid_workloads``),
+admission-control shedding → 503 (with ``Retry-After``).
 
 Built on :class:`http.server.ThreadingHTTPServer` only — no third-party
 dependencies — which pairs naturally with the service's design: handler
@@ -35,7 +36,11 @@ import numpy as np
 from ..data.database import DeltaBatch
 from ..data.relation import Relation
 from .coalescer import ServiceOverloaded
-from .service import AnalyticsService, QueryResponse
+from .service import (
+    AnalyticsService,
+    QueryResponse,
+    UnknownWorkloadError,
+)
 
 #: request body size cap (16 MiB) — a plain sanity bound, not a quota
 MAX_BODY_BYTES = 16 << 20
@@ -171,6 +176,13 @@ class AnalyticsRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": f"no route {self.path!r}"})
         except ServiceOverloaded as exc:
             self._send_json(503, {"error": str(exc)}, retry_after=1)
+        except UnknownWorkloadError as exc:
+            # a misspelled workload is a malformed request against an
+            # existing route — answer 400 and name what *would* work
+            self._send_json(
+                400,
+                {"error": str(exc), "valid_workloads": exc.valid},
+            )
         except KeyError as exc:
             self._send_json(404, {"error": str(exc.args[0])})
         except (ValueError, json.JSONDecodeError) as exc:
@@ -206,6 +218,8 @@ class AnalyticsRequestHandler(BaseHTTPRequestHandler):
                 "epoch": response.epoch,
                 "n_changes": response.report.n_changes,
                 "relations": list(response.report.relations),
+                "views_patched": response.report.views_patched,
+                "views_evicted": response.report.views_evicted,
                 "maintenance": [
                     {"mode": b.mode, "seconds": round(b.seconds, 6)}
                     for b in response.report.batches

@@ -56,6 +56,24 @@ from .coalescer import RequestCoalescer
 DEFAULT_CACHE_MB = 64.0
 
 
+class UnknownWorkloadError(ValueError):
+    """A query named a workload the dataset does not serve.
+
+    Carries the valid names so the HTTP layer can answer 400 with an
+    actionable body (a misspelled workload is a malformed request, not
+    a missing resource — the dataset route itself exists).
+    """
+
+    def __init__(self, dataset: str, workload: str, valid: Sequence[str]):
+        self.dataset = dataset
+        self.workload = workload
+        self.valid = list(valid)
+        super().__init__(
+            f"no workload {workload!r} on dataset {dataset!r}; "
+            f"valid workloads: {self.valid}"
+        )
+
+
 @dataclass(frozen=True)
 class Epoch:
     """One committed database version.
@@ -210,12 +228,17 @@ class AnalyticsService:
         """Load one dataset into the service; returns self for chaining.
 
         With a ``data_dir`` configured, registration is where durability
-        engages: an existing snapshot is **restored** (snapshot load +
-        WAL replay — the recovered database *replaces* the one passed
-        in, and the recovered epoch becomes the serving epoch), while a
-        first boot persists the passed database as the base snapshot.
-        Either way the dataset's view cache gains the persistent second
-        tier, so warm starts serve spilled views from disk.
+        engages: an existing snapshot is **restored** — the base
+        snapshot is loaded, then every WAL commit replays through the
+        dataset's own :meth:`IncrementalEngine.apply_delta`, i.e. the
+        exact delta-propagation code live commits use, so the recovered
+        engine, epoch, and view-cache state match what a never-crashed
+        server would hold.  The recovered database *replaces* the one
+        passed in and the last replayed epoch becomes the serving
+        epoch.  A first boot persists the passed database as the base
+        snapshot.  Either way the dataset's view cache gains the
+        persistent second tier, so warm starts serve spilled views from
+        disk.
         """
         # reserve the name before any storage side effect: two
         # concurrent registrations of the same dataset must not both
@@ -226,36 +249,43 @@ class AnalyticsService:
             self._registering.add(name)
         try:
             storage: Optional[DatasetStorage] = None
-            recovery: Optional[RecoveryStats] = None
-            initial_epoch = 0
-            if self._data_dir is not None:
-                storage = DatasetStorage(
-                    os.path.join(self._data_dir, name),
-                    fsync=self._fsync,
-                    cache_budget_bytes=self._spill_budget_bytes,
-                )
-                try:
+            snapshot_info = None
+            load_seconds = 0.0
+            replay = False
+            try:
+                if self._data_dir is not None:
+                    storage = DatasetStorage(
+                        os.path.join(self._data_dir, name),
+                        fsync=self._fsync,
+                        cache_budget_bytes=self._spill_budget_bytes,
+                    )
                     if storage.has_snapshot():
-                        recovered = storage.recover()
-                        database = recovered.database
-                        initial_epoch = recovered.epoch
-                        recovery = recovered.stats
+                        database, snapshot_info, load_seconds = (
+                            storage.load_base()
+                        )
+                        replay = True
                     else:
                         storage.initialize(database, epoch=0)
-                except BaseException:
+                state = _DatasetState(
+                    name,
+                    database,
+                    join_tree,
+                    cache_mb=self._cache_mb,
+                    backend=self._backend,
+                    n_threads=self._n_threads,
+                    storage=storage,
+                    initial_epoch=(
+                        snapshot_info.epoch if snapshot_info else 0
+                    ),
+                )
+                if replay:
+                    self._replay_wal(
+                        state, snapshot_info, load_seconds
+                    )
+            except BaseException:
+                if storage is not None:
                     storage.close()  # don't leak the WAL handle
-                    raise
-            state = _DatasetState(
-                name,
-                database,
-                join_tree,
-                cache_mb=self._cache_mb,
-                backend=self._backend,
-                n_threads=self._n_threads,
-                storage=storage,
-                initial_epoch=initial_epoch,
-                recovery=recovery,
-            )
+                raise
             with self._registry_lock:
                 self._states[name] = state
         finally:
@@ -264,6 +294,43 @@ class AnalyticsService:
         for workload_name, batch in (workloads or {}).items():
             self.register_workload(name, workload_name, batch)
         return self
+
+    def _replay_wal(
+        self,
+        state: _DatasetState,
+        snapshot_info,
+        load_seconds: float,
+    ) -> None:
+        """Replay WAL commits through the dataset's own IVM engine.
+
+        Each logged commit flows through ``state.ivm.apply_delta`` — the
+        exact code path live commits take — so recovery exercises delta
+        propagation (interior view patches, cache re-keying) instead of
+        a database-level fold.  The replayed epochs advance
+        ``state.epoch`` exactly as the original commits did.
+        """
+        assert state.storage is not None
+        t0 = time.perf_counter()
+        replayed = 0
+        changes = 0
+        for commit in state.storage.pending_commits(snapshot_info.epoch):
+            live = [d for d in commit.deltas if not d.is_empty]
+            if live:
+                state.ivm.apply_delta(*live)
+                changes += sum(d.n_changes() for d in live)
+            state.epoch = Epoch(commit.epoch, state.ivm.database)
+            replayed += 1
+        state.recovery = RecoveryStats(
+            snapshot_epoch=snapshot_info.epoch,
+            epoch=state.epoch.number,
+            replayed_commits=replayed,
+            replayed_changes=changes,
+            wal_tail_truncated=state.storage.wal.tail_truncated,
+            snapshot_load_seconds=load_seconds,
+            replay_seconds=time.perf_counter() - t0,
+            cache_entries=len(state.storage.cache_store),
+            cache_bytes=state.storage.cache_store.spilled_bytes,
+        )
 
     def register_workload(
         self, dataset: str, name: str, batch: QueryBatch
@@ -347,7 +414,8 @@ class AnalyticsService:
     ) -> QueryResponse:
         """Submit one request; blocks until its (coalesced) batch ran.
 
-        Raises :class:`KeyError` for unknown datasets/workloads,
+        Raises :class:`KeyError` for unknown datasets,
+        :class:`UnknownWorkloadError` for unknown workload names,
         :class:`~repro.server.coalescer.ServiceOverloaded` when shed by
         admission control, and :class:`TimeoutError` on timeout.
         """
@@ -357,9 +425,8 @@ class AnalyticsService:
             raise ValueError("query needs at least one workload name")
         for name in names:
             if name not in state.workloads:
-                raise KeyError(
-                    f"no workload {name!r} on {dataset!r}; registered: "
-                    f"{list(state.workloads)}"
+                raise UnknownWorkloadError(
+                    dataset, name, list(state.workloads)
                 )
         return self.coalescer.submit(dataset, names, timeout=timeout)
 
@@ -411,11 +478,16 @@ class AnalyticsService:
     ) -> DeltaResponse:
         """Commit inserts/retractions as one new epoch.
 
-        The IVM layer applies the deltas, patches its maintained views,
-        and fans the change through ``ViewCache.on_delta`` (leaf views
-        delta-patched and re-keyed, the rest evicted); the new database
-        version then becomes the next epoch with one atomic swap.
-        Queries already in flight keep reading their captured epoch.
+        The IVM layer applies the deltas, propagates them bottom-up
+        through every maintained view DAG, and fans the change through
+        ``ViewCache.on_delta`` — cached views (leaf *and* interior) are
+        delta-patched and re-keyed under their new content addresses,
+        with eviction only as a fallback; the returned
+        :class:`~repro.engine.ivm.DeltaReport` carries the per-view
+        outcome stream (``views_patched`` / ``views_evicted``).  The new
+        database version then becomes the next epoch with one atomic
+        swap.  Queries already in flight keep reading their captured
+        epoch.
 
         With durable storage attached, the commit is appended to the
         write-ahead log (and fsynced) *before* the epoch swap: no epoch
@@ -505,6 +577,7 @@ class AnalyticsService:
                 "workloads": list(state.workloads),
                 "queries": state.n_queries,
                 "deltas": state.n_deltas,
+                "ivm": state.ivm.stats(),
                 "cache": (
                     None
                     if state.cache is None

@@ -113,7 +113,7 @@ def _decode_entry(raw: bytes, digest: str) -> Tuple[ViewSignature, ViewData]:
         digest=digest,
         relations=frozenset(header["relations"]),
         cacheable=True,
-        leaf_structure=None,
+        structure=None,
     )
     data = ViewData(
         group_by=group_by,

@@ -34,7 +34,7 @@ import shutil
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..data.database import Database
 from .cachestore import CacheStore
@@ -232,8 +232,16 @@ class DatasetStorage:
             self.wal.truncate()
         return self._write_versioned_snapshot(database, epoch)
 
-    def recover(self) -> RecoveredState:
-        """Load the current snapshot and replay the WAL over it."""
+    def load_base(self) -> Tuple[Database, SnapshotInfo, float]:
+        """Load the ``CURRENT`` snapshot without replaying the WAL.
+
+        Returns ``(database, snapshot info, load seconds)``.  Callers
+        that own an incremental-maintenance layer pair this with
+        :meth:`pending_commits` so WAL replay flows through the same
+        delta-propagation code live commits use (and a recovered view
+        cache matches the live one); :meth:`recover` remains the
+        self-contained database-level fold.
+        """
         snapshot_dir = self.current_snapshot_dir()
         if snapshot_dir is None or not os.path.isdir(snapshot_dir):
             raise StorageError(
@@ -241,20 +249,35 @@ class DatasetStorage:
             )
         t0 = time.perf_counter()
         database, info = load_snapshot(snapshot_dir)
-        t1 = time.perf_counter()
+        seconds = time.perf_counter() - t0
         with self._lock:
             self._snapshot_epoch = info.epoch
+        return database, info, seconds
+
+    def pending_commits(self, after_epoch: int) -> Iterator[WalCommit]:
+        """WAL commits newer than ``after_epoch``, in commit order.
+
+        The monotonic guard covers two cases with one test: commits
+        already folded into the snapshot, and a resurrected duplicate
+        of an epoch a later commit reused (possible only if a failed
+        append's scrub was lost to a power cut) — never apply an epoch
+        twice.
+        """
+        epoch = int(after_epoch)
+        for commit in self.wal.replay():
+            if commit.epoch <= epoch:
+                continue
+            epoch = commit.epoch
+            yield commit
+
+    def recover(self) -> RecoveredState:
+        """Load the current snapshot and replay the WAL over it."""
+        database, info, load_seconds = self.load_base()
+        t1 = time.perf_counter()
         epoch = info.epoch
         replayed = 0
         changes = 0
-        for commit in self.wal.replay():
-            # the monotonic guard covers two cases with one test:
-            # commits already folded into the snapshot, and a
-            # resurrected duplicate of an epoch a later commit reused
-            # (possible only if a failed append's scrub was lost to a
-            # power cut) — never apply an epoch twice
-            if commit.epoch <= epoch:
-                continue
+        for commit in self.pending_commits(info.epoch):
             for delta in commit.deltas:
                 if delta.is_empty:
                     continue
@@ -269,7 +292,7 @@ class DatasetStorage:
             replayed_commits=replayed,
             replayed_changes=changes,
             wal_tail_truncated=self.wal.tail_truncated,
-            snapshot_load_seconds=t1 - t0,
+            snapshot_load_seconds=load_seconds,
             replay_seconds=time.perf_counter() - t1,
             cache_entries=len(self.cache_store),
             cache_bytes=self.cache_store.spilled_bytes,

@@ -273,8 +273,8 @@ class TestKeyRetirement:
         assert got["n"].column("count")[0] == 0.0
 
 
-class TestFallback:
-    def test_non_root_delta_recomputes(self, tiny_favorita):
+class TestPropagation:
+    def test_non_root_delta_propagates_not_recomputes(self, tiny_favorita):
         ds = tiny_favorita
         engine = IncrementalEngine(ds.database, ds.join_tree)
         batch = simple_batch([ds.categorical_features[0]])
@@ -286,7 +286,38 @@ class TestFallback:
             DeltaBatch.insert(dim, sample_inserts(rng, dim_rel, 3))
         )
         assert not report.all_incremental
+        assert report.all_maintained
+        assert report.batches[0].mode == "propagate"
+        assert engine.stats()["propagated"] == 1
+        assert engine.stats()["fallbacks"] == 0
+        got = engine.run(batch)
+        expected = reference_results(engine, batch)
+        assert_results_equal(got, expected, batch)
+
+    def test_fallback_counter_increments_on_propagation_error(
+        self, tiny_favorita, monkeypatch
+    ):
+        ds = tiny_favorita
+        engine = IncrementalEngine(ds.database, ds.join_tree)
+        batch = simple_batch([ds.categorical_features[0]])
+        engine.run(batch)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected propagation failure")
+
+        monkeypatch.setattr(engine, "_propagate", boom)
+        dim = next(r.name for r in engine.database if r.name != engine.root)
+        dim_rel = engine.database.relation(dim)
+        rng = np.random.default_rng(2)
+        report = engine.apply_delta(
+            DeltaBatch.insert(dim, sample_inserts(rng, dim_rel, 2))
+        )
+        stats = engine.stats()
+        assert stats["fallbacks"] == 1
+        assert "injected propagation failure" in stats["last_fallback_reason"]
         assert report.batches[0].mode == "recompute"
+        assert not report.all_maintained
+        # the fallback still leaves correct state behind
         got = engine.run(batch)
         expected = reference_results(engine, batch)
         assert_results_equal(got, expected, batch)

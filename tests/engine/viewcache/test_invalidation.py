@@ -113,26 +113,86 @@ class TestFootprintExactness:
         for digest in rekeyed:
             assert digest in cache
 
-    def test_retraction_without_support_evicts_leaves(self, warm_engine):
+    def test_retraction_without_support_repairs_in_place(self, warm_engine):
         """Leaf views carry no support counts, so a delete delta cannot
-        be patched exactly — those entries must be evicted instead
-        (the recompute fallback then refills the cache under the new
-        content addresses)."""
+        be merged exactly — those entries are repaired by re-running
+        their group plan over the full updated relation and re-keyed
+        under the new content addresses (never evicted wholesale)."""
         engine, cache, batch = warm_engine
         stale = set(cache.entries_containing("Stores"))
         patches_before = cache.stats().patches
         engine.apply_delta(DeltaBatch.delete("Stores", np.array([0])))
-        assert cache.stats().patches == patches_before
-        assert cache.stats().invalidations >= len(stale) > 0
+        assert cache.stats().patches >= patches_before + len(stale) > 0
+        assert cache.stats().invalidations == 0
         assert stale.isdisjoint(cache.digests())
+        # the repaired entries answer exactly like a cold engine
+        warm = LMFAO(engine.database, sort_inputs=False, view_cache=cache)
+        served = warm.run(batch)
+        cold = LMFAO(engine.database, sort_inputs=False).run(batch)
+        assert_results_equal(served, cold, batch, rtol=1e-9)
+
+
+class TestInteriorRekey:
+    """Interior DAG entries are repaired + re-keyed, never evicted."""
+
+    def interior(self, engine, batch, relation):
+        """Digests of cacheable views whose subtree spans ``relation``
+        plus at least one other relation (i.e. interior, not leaf)."""
+        return {
+            digest
+            for digest, rels in footprints(engine, batch).items()
+            if relation in rels and len(rels) > 1
+        }
+
+    def test_interior_entries_rekey_not_evict(self, warm_engine):
+        engine, cache, batch = warm_engine
+        before = self.interior(engine, batch, "Stores")
+        assert before, "the toy batch must cache interior views"
+        assert before <= set(cache.digests())
+        engine.apply_delta(stores_insert())
+        # old addresses gone, repaired data present under exactly the
+        # digests the next run's signatures will compute
+        assert before.isdisjoint(cache.digests())
+        after = self.interior(engine, batch, "Stores")
+        for digest in after:
+            assert digest in cache
+        assert cache.stats().invalidations == 0
+        assert cache.stats().patches >= len(after)
+
+    def test_rekeyed_interior_entries_serve_exact_results(
+        self, warm_engine
+    ):
+        engine, cache, batch = warm_engine
+        engine.apply_delta(stores_insert())
+        # the repair re-keyed every entry to exactly the digest the
+        # owning engine's next run computes — a 100% hit, no misses
+        plan = engine.engine.plan(batch)
+        sigs = engine.engine.view_signatures_for(plan)
+        for sig in sigs.values():
+            if sig.cacheable:
+                assert sig.digest in cache
+        warm = LMFAO(engine.database, sort_inputs=False, view_cache=cache)
+        served = warm.run(batch)
+        cold = LMFAO(engine.database, sort_inputs=False).run(batch)
+        assert_results_equal(served, cold, batch, rtol=1e-9)
+
+    def test_interior_rekey_after_retraction(self, warm_engine):
+        engine, cache, batch = warm_engine
+        engine.apply_delta(DeltaBatch.delete("Stores", np.array([2])))
+        assert cache.stats().invalidations == 0
+        after = self.interior(engine, batch, "Stores")
+        for digest in after:
+            assert digest in cache
 
 
 class TestStaleEpochEntries:
-    def test_old_epoch_admission_is_evicted_not_patched(self, toy_db):
-        """An entry admitted by a reader pinned to an older database
-        version must be evicted by the next delta, never patched: it
-        predates deltas the patch would skip, so "patching" it forward
-        would publish wrong data under a current content address."""
+    def test_old_epoch_admission_is_rejected_not_patched(self, toy_db):
+        """An entry offered by a reader pinned to an older database
+        version must never be patched forward: it predates deltas the
+        patch would skip, so "patching" it would publish wrong data
+        under a current content address.  Admission gating rejects the
+        offer outright (``stale_rejects``) instead of admitting an
+        entry the next delta could only evict."""
         cache = ViewCache()
         engine = IncrementalEngine(toy_db, view_cache=cache)
         batch = mixed_batch()
@@ -152,10 +212,24 @@ class TestStaleEpochEntries:
             )
         )
         # a reader still pinned to the epoch-0 database finishes now
-        # and admits its (stale-fingerprint) views into the shared cache
+        # and offers its (stale-fingerprint) views to the shared cache:
+        # every Stores-footprint offer is rejected at admission
+        digests_before = set(cache.digests())
         old_reader = LMFAO(toy_db, sort_inputs=False, view_cache=cache)
         old_reader.run(batch)
-        # the next delta must patch only entries holding epoch-1 data
+        assert cache.stats().stale_rejects > 0
+        old_sigs = old_reader.view_signatures_for(old_reader.plan(batch))
+        stale = {
+            sig.digest
+            for sig in old_sigs.values()
+            if sig.cacheable and "Stores" in sig.relations
+        }
+        assert stale.isdisjoint(cache.digests())
+        # epoch-0 views whose footprint excludes Stores are still
+        # current (their relations never changed) and admissible
+        assert digests_before <= set(cache.digests())
+        # the next delta sees only current entries: everything patches
+        invalidations_before = cache.stats().invalidations
         engine.apply_delta(
             DeltaBatch.insert(
                 "Stores",
@@ -166,6 +240,7 @@ class TestStaleEpochEntries:
                 },
             )
         )
+        assert cache.stats().invalidations == invalidations_before
         # a cache-served run at the new epoch must match a cold engine
         # bit for bit; a mis-patched stale entry would poison it
         warm = LMFAO(engine.database, sort_inputs=False, view_cache=cache)

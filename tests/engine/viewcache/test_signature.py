@@ -8,7 +8,7 @@ from repro.data.database import DeltaBatch
 from repro.engine.views import AggregateSpec, View, ViewRef
 from repro.engine.viewcache.signature import (
     database_fingerprint,
-    leaf_digest,
+    structure_digest,
     relation_fingerprint,
     view_signatures,
 )
@@ -251,16 +251,13 @@ class TestCacheability:
         assert all(s.cacheable for s in sigs.values())
 
 
-class TestLeafStructure:
-    def test_leaf_views_expose_rekey_structure(self, toy_db):
+class TestStructure:
+    def test_every_view_exposes_rekey_structure(self, toy_db):
         plan, sigs = signatures_for(
             LMFAO(toy_db, sort_inputs=False), count_batch()
         )
         for view in plan.decomposed.views:
             sig = sigs[view.id]
-            if view.referenced_view_ids():
-                assert sig.leaf_structure is None
-            else:
-                assert sig.leaf_structure is not None
-                fp = relation_fingerprint(toy_db.relation(view.source))
-                assert leaf_digest(sig.leaf_structure, fp) == sig.digest
+            assert sig.structure is not None
+            fp = relation_fingerprint(toy_db.relation(view.source))
+            assert structure_digest(sig.structure, fp) == sig.digest

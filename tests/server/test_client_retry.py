@@ -3,6 +3,7 @@
 import json
 import threading
 import time
+import urllib.error
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import pytest
@@ -34,7 +35,14 @@ class FlakyHandler(BaseHTTPRequestHandler):
         state = self.server.state  # type: ignore[attr-defined]
         with state["lock"]:
             state["requests"] += 1
+            drop = state["requests"] <= state.get("drop_count", 0)
             shed = state["requests"] <= state["shed_count"]
+        if drop:
+            # slam the connection shut without a response: the client
+            # sees a transport failure, not an HTTP error
+            self.close_connection = True
+            self.connection.close()
+            return
         if self.path != "/healthz":
             self._respond(404, {"error": f"no route {self.path!r}"})
         elif shed:
@@ -66,6 +74,7 @@ def flaky_server(shared_server):
             "lock": threading.Lock(),
             "requests": 0,
             "shed_count": 0,
+            "drop_count": 0,
             "retry_after": "0.01",
         }
     )
@@ -129,6 +138,72 @@ class TestRetryAfter:
 
     def test_non_503_errors_never_retry(self, flaky_server):
         client = client_for(flaky_server, retries=5)
+        with pytest.raises(ClientError) as info:
+            client._request("GET", "/not-a-route")
+        assert info.value.status == 404
+        assert flaky_server.state["requests"] == 1
+
+
+class TestConnectionErrorRetry:
+    """Transport failures retry under the same bounded budget as 503."""
+
+    def test_dropped_connection_retries_then_success(self, flaky_server):
+        flaky_server.state["drop_count"] = 2
+        client = client_for(
+            flaky_server, retries=3, max_retry_after=0.01
+        )
+        assert client.healthz() == {"status": "ok"}
+        assert flaky_server.state["requests"] == 3
+
+    def test_default_fails_immediately_on_drop(self, flaky_server):
+        flaky_server.state["drop_count"] = 1
+        client = client_for(flaky_server)
+        with pytest.raises((ConnectionError, urllib.error.URLError)):
+            client.healthz()
+        assert flaky_server.state["requests"] == 1
+        # the connection error was transient; the next call succeeds
+        assert client.healthz() == {"status": "ok"}
+
+    def test_exhausted_budget_reraises_transport_error(
+        self, flaky_server
+    ):
+        flaky_server.state["drop_count"] = 10
+        client = client_for(
+            flaky_server, retries=2, max_retry_after=0.01
+        )
+        with pytest.raises((ConnectionError, urllib.error.URLError)):
+            client.healthz()
+        assert flaky_server.state["requests"] == 3  # 1 try + 2 retries
+
+    def test_connection_refused_is_retryable(self, flaky_server):
+        # bind-then-close leaves a port nothing listens on
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = AnalyticsClient(
+            "127.0.0.1", port, retries=1, max_retry_after=0.01
+        )
+        with pytest.raises((ConnectionError, urllib.error.URLError)):
+            client.healthz()
+
+    def test_budget_is_shared_across_failure_kinds(self, flaky_server):
+        # request 1 drops the connection, request 2 sheds with 503,
+        # request 3 succeeds — one budget covers the mix
+        flaky_server.state["drop_count"] = 1
+        flaky_server.state["shed_count"] = 2
+        client = client_for(
+            flaky_server, retries=2, max_retry_after=0.01
+        )
+        assert client.healthz() == {"status": "ok"}
+        assert flaky_server.state["requests"] == 3
+
+    def test_http_errors_still_map_to_client_error(self, flaky_server):
+        # HTTPError subclasses URLError: the transport clause must not
+        # swallow real HTTP responses
+        client = client_for(flaky_server, retries=1, max_retry_after=0.01)
         with pytest.raises(ClientError) as info:
             client._request("GET", "/not-a-route")
         assert info.value.status == 404

@@ -89,11 +89,14 @@ class TestEndpoints:
             client.query("nope", ["counts"])
         assert info.value.status == 404
 
-    def test_unknown_workload_is_404(self, served):
-        _service, client = served
+    def test_unknown_workload_is_400_with_valid_names(self, served):
+        service, client = served
         with pytest.raises(ClientError) as info:
             client.query("toy", ["nope"])
-        assert info.value.status == 404
+        assert info.value.status == 400
+        # the error body names every workload that would have worked
+        for name in service.workload_names("toy"):
+            assert name in info.value.message
 
     def test_unknown_route_is_404(self, served):
         _service, client = served

@@ -44,8 +44,11 @@ class TestRegistry:
             service.query("nope", ["counts"])
 
     def test_unknown_workload_raises(self, service):
-        with pytest.raises(KeyError, match="no workload"):
+        from repro.server.service import UnknownWorkloadError
+
+        with pytest.raises(UnknownWorkloadError, match="no workload") as e:
             service.query("toy", ["nope"])
+        assert e.value.valid == service.workload_names("toy")
 
     def test_empty_workloads_raises(self, service):
         with pytest.raises(ValueError, match="at least one"):
